@@ -1,0 +1,54 @@
+#pragma once
+// Shared plumbing for the paper-experiment bench binaries: scale banner,
+// simple argv filters (--dataset=, --defense=, --attack=) so individual
+// rows/cells can be re-run in isolation, and wall-clock reporting.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fl/experiment.h"
+
+namespace signguard::bench {
+
+// Parses "--key=value" occurrences of `key` from argv; empty = no filter.
+inline std::vector<std::string> arg_values(int argc, char** argv,
+                                           const std::string& key) {
+  std::vector<std::string> out;
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) out.push_back(arg.substr(prefix.size()));
+  }
+  return out;
+}
+
+inline bool keep(const std::vector<std::string>& filter,
+                 const std::string& value) {
+  if (filter.empty()) return true;
+  for (const auto& f : filter)
+    if (f == value) return true;
+  return false;
+}
+
+inline void banner(const char* experiment, fl::Scale scale) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("scale=%s (set SIGNGUARD_SCALE=smoke|default|full)\n\n",
+              fl::to_string(scale).c_str());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace signguard::bench

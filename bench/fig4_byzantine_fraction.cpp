@@ -1,0 +1,87 @@
+// Fig. 4 reproduction: attack impact (accuracy drop vs the no-attack,
+// no-defense baseline — Definition 3) as the Byzantine fraction sweeps
+// 10%..40%, for {Median, TrMean, Multi-Krum, DnC, SignGuard-Sim} under
+// the five strong attacks, on (a) the Fashion-like and (b) the
+// CIFAR-like workloads.
+//
+// Paper reference (Fig. 4): SignGuard-Sim's impact curve stays near zero
+// at every fraction; the baselines degrade sharply as the fraction grows.
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "fl/trainer.h"
+
+namespace {
+
+using namespace signguard;
+
+void run_workload(fl::WorkloadKind kind, const char* title, fl::Scale scale,
+                  const std::vector<std::string>& defense_filter,
+                  const std::vector<std::string>& attack_filter) {
+  fl::Workload w = fl::make_workload(kind, fl::ModelProfile::kGrid, scale);
+
+  const std::vector<double> fractions = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<std::string> defenses = {"Median", "TrMean",
+                                             "Multi-Krum", "DnC",
+                                             "SignGuard-Sim"};
+  const std::vector<std::string> attacks = {"ByzMean", "SignFlip", "LIE",
+                                            "MinMax", "MinSum"};
+
+  // Baseline: no attack, plain mean, no Byzantine clients.
+  fl::Workload base = w;
+  base.config.byzantine_frac = 0.0;
+  fl::Trainer base_trainer(base.data, base.model_factory, base.config);
+  auto no_attack = fl::make_attack("NoAttack");
+  const double baseline =
+      base_trainer.run(*no_attack, fl::make_aggregator("Mean"))
+          .best_accuracy;
+  std::printf("[%s] baseline accuracy (no attack, Mean): %.2f%%\n", title,
+              baseline);
+
+  for (const auto& defense : defenses) {
+    if (!bench::keep(defense_filter, defense)) continue;
+    std::vector<std::string> header = {"Attack \\ Byz%"};
+    for (const double f : fractions)
+      header.push_back(TextTable::fmt(100.0 * f, 0) + "%");
+    TextTable table(header);
+    for (const auto& attack_name : attacks) {
+      if (!bench::keep(attack_filter, attack_name)) continue;
+      std::vector<std::string> row = {attack_name};
+      for (const double f : fractions) {
+        fl::Workload wf = w;
+        wf.config.byzantine_frac = f;
+        fl::Trainer trainer(wf.data, wf.model_factory, wf.config);
+        auto attack = fl::make_attack(attack_name);
+        const auto res = trainer.run(*attack, fl::make_aggregator(defense));
+        row.push_back(
+            TextTable::fmt(fl::attack_impact(baseline, res.best_accuracy)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("\n[%s / %s] attack impact (accuracy drop, %%):\n%s", title,
+                defense.c_str(), table.to_string().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace signguard;
+  const auto scale = fl::scale_from_env();
+  bench::banner("Fig. 4: attack impact vs Byzantine fraction", scale);
+  const auto dataset_filter = bench::arg_values(argc, argv, "dataset");
+  const auto defense_filter = bench::arg_values(argc, argv, "defense");
+  const auto attack_filter = bench::arg_values(argc, argv, "attack");
+
+  bench::Stopwatch total;
+  if (bench::keep(dataset_filter, "Fashion-like"))
+    run_workload(fl::WorkloadKind::kFashionLike,
+                 "Fashion-like (Fig. 4a)", scale, defense_filter,
+                 attack_filter);
+  if (bench::keep(dataset_filter, "CIFAR-like"))
+    run_workload(fl::WorkloadKind::kCifarLike, "CIFAR-like (Fig. 4b)",
+                 scale, defense_filter, attack_filter);
+  std::printf("total wall time: %.1fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Aggregation-rule micro-benchmark (google-benchmark): per-round latency
+// of every GAR as a function of client count n and gradient dimension d.
+//
+// This backs the paper's §IV-A "Efficiency" defense goal: SignGuard's
+// filters cost O(nd) plus a clustering step on n 3-4 dim feature points,
+// so it must land near Mean/TrMean — far below the O(n^2 d) of
+// Krum/Bulyan — and that is exactly what this bench shows.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fl/experiment.h"
+
+namespace {
+
+using namespace signguard;
+
+std::vector<std::vector<float>> make_grads(std::size_t n, std::size_t d,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(rng.normal_vector(d, 0.1, 1.0));
+  return out;
+}
+
+void run_gar(benchmark::State& state, const std::string& name) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const auto grads = make_grads(n, d, 42);
+  auto gar = fl::make_aggregator(name);
+  Rng rng(7);
+  agg::GarContext ctx;
+  ctx.assumed_byzantine = n / 5;
+  ctx.rng = &rng;
+  for (auto _ : state) {
+    auto out = gar->aggregate(grads, ctx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+
+void register_all() {
+  for (const auto& name : fl::table1_defenses()) {
+    auto* b = benchmark::RegisterBenchmark(
+        name.c_str(), [name](benchmark::State& s) { run_gar(s, name); });
+    b->Args({50, 8704});     // the Table I grid shape
+    b->Args({50, 131072});   // larger model
+    b->Args({200, 8704});    // more clients
+    b->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

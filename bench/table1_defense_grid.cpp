@@ -1,0 +1,61 @@
+// Table I reproduction: best test accuracy for every (defense, attack)
+// pair on the four workloads, IID data, n=50 clients, 20% Byzantine.
+//
+// Paper reference (Table I): state-of-the-art attacks (LIE, Min-Max,
+// Min-Sum, ByzMean) break the median/distance-based defenses while the
+// SignGuard family stays within a point or two of the no-attack baseline.
+//
+// Usage: table1_defense_grid [--dataset=MNIST-like] [--defense=SignGuard]
+//                            [--attack=LIE]
+// Scale via SIGNGUARD_SCALE=smoke|default|full.
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "fl/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace signguard;
+  const auto scale = fl::scale_from_env();
+  bench::banner("Table I: defenses x attacks, IID, 20% Byzantine", scale);
+
+  const auto dataset_filter = bench::arg_values(argc, argv, "dataset");
+  const auto defense_filter = bench::arg_values(argc, argv, "defense");
+  const auto attack_filter = bench::arg_values(argc, argv, "attack");
+
+  const auto kinds = {
+      fl::WorkloadKind::kMnistLike, fl::WorkloadKind::kFashionLike,
+      fl::WorkloadKind::kCifarLike, fl::WorkloadKind::kAgNewsLike};
+
+  bench::Stopwatch total;
+  for (const auto kind : kinds) {
+    fl::Workload w = fl::make_workload(kind, fl::ModelProfile::kGrid, scale);
+    if (!bench::keep(dataset_filter, w.name)) continue;
+
+    std::vector<std::string> header = {"GAR"};
+    for (const auto& a : fl::table1_attacks()) header.push_back(a);
+    TextTable table(header);
+
+    fl::Trainer trainer(w.data, w.model_factory, w.config);
+    for (const auto& defense : fl::table1_defenses()) {
+      if (!bench::keep(defense_filter, defense)) continue;
+      std::vector<std::string> row = {defense};
+      for (const auto& attack_name : fl::table1_attacks()) {
+        if (!bench::keep(attack_filter, attack_name)) {
+          row.push_back("-");
+          continue;
+        }
+        auto attack = fl::make_attack(attack_name);
+        const auto res =
+            trainer.run(*attack, fl::make_aggregator(defense));
+        row.push_back(TextTable::fmt(res.best_accuracy));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("[%s]  (n=%zu, byz=%.0f%%, rounds=%zu)\n", w.name.c_str(),
+                w.config.n_clients, 100.0 * w.config.byzantine_frac,
+                w.config.rounds);
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("total wall time: %.1fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: defend a federated learning job against the paper's hybrid
+// ByzMean attack with SignGuard.
+//
+//   ./quickstart
+//
+// Builds a 50-client federation on the synthetic MNIST-like task with 20%
+// Byzantine clients running ByzMean (the strongest attack in the paper:
+// it steers the gradient mean to an arbitrary vector, Eq. 8), then trains
+// twice: once aggregating with plain Mean (undefended) and once with
+// SignGuard. Prints both accuracy trajectories and the recovery.
+
+#include <cstdio>
+
+#include "attacks/byzmean.h"
+#include "attacks/simple_attacks.h"
+#include "core/signguard.h"
+#include "fl/experiment.h"
+#include "fl/trainer.h"
+
+int main() {
+  using namespace signguard;
+
+  // 1. A workload: synthetic dataset + model factory + tuned FL config.
+  fl::Workload workload = fl::make_workload(
+      fl::WorkloadKind::kMnistLike, fl::ModelProfile::kGrid,
+      fl::scale_from_env());
+  std::printf("workload: %s | clients=%zu byzantine=%.0f%% rounds=%zu\n",
+              workload.name.c_str(), workload.config.n_clients,
+              100.0 * workload.config.byzantine_frac,
+              workload.config.rounds);
+
+  // 2. The attack: ByzMean steering the mean toward random noise (§III).
+  auto make_attack = [] {
+    return attacks::ByzMeanAttack(
+        std::make_unique<attacks::RandomAttack>(0.0, 0.5));
+  };
+
+  // 3. Train undefended (plain Mean) and defended (SignGuard).
+  fl::Trainer trainer(workload.data, workload.model_factory,
+                      workload.config);
+
+  std::printf("\n-- Mean aggregation under ByzMean --\n");
+  auto byzmean = make_attack();
+  const fl::TrainingResult undefended =
+      trainer.run(byzmean, fl::make_aggregator("Mean"));
+  for (const auto& r : undefended.history)
+    std::printf("  round %3zu  accuracy %5.2f%%\n", r.round + 1,
+                r.test_accuracy);
+
+  std::printf("\n-- SignGuard under ByzMean --\n");
+  auto byzmean2 = make_attack();
+  const fl::TrainingResult defended =
+      trainer.run(byzmean2, fl::make_aggregator("SignGuard"));
+  for (const auto& r : defended.history)
+    std::printf("  round %3zu  accuracy %5.2f%%\n", r.round + 1,
+                r.test_accuracy);
+
+  std::printf("\nbest accuracy: mean=%.2f%%  signguard=%.2f%%\n",
+              undefended.best_accuracy, defended.best_accuracy);
+  std::printf("signguard recovered %.2f accuracy points\n",
+              defended.best_accuracy - undefended.best_accuracy);
+  std::printf("malicious gradients admitted: %.1f%% of rounds\n",
+              100.0 * defended.selection.malicious_rate);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Example: Byzantine-robust federated *text* classification with the
+// recurrent TextRNN model (the paper's AG-News workload) under the
+// Min-Max attack.
+//
+//   ./text_classification_robust
+//
+// Shows the paper-profile models (embedding + tanh RNN with BPTT) running
+// in the same federation API, and contrasts an undefended run with
+// SignGuard-Sim.
+
+#include <cstdio>
+
+#include "attacks/minmax_minsum.h"
+#include "core/signguard.h"
+#include "fl/experiment.h"
+#include "fl/trainer.h"
+
+int main() {
+  using namespace signguard;
+
+  const auto scale = fl::scale_from_env();
+  fl::Workload w = fl::make_workload(fl::WorkloadKind::kAgNewsLike,
+                                     fl::ModelProfile::kPaper, scale);
+  // RNN-tuned hyperparameters (calibrated): gentler learning rate and a
+  // larger batch stabilize BPTT under server momentum.
+  w.config.lr = 0.05;
+  w.config.batch_size = 16;
+  w.config.rounds = scale == fl::Scale::kSmoke
+                        ? 40
+                        : (scale == fl::Scale::kFull ? 240 : 120);
+  w.config.eval_every = w.config.rounds / 6;
+  w.config.eval_max_samples = 400;
+
+  std::printf(
+      "federated text classification: TextRNN (embedding+RNN+linear), "
+      "%zu clients, %.0f%% Byzantine, Min-Max attack\n\n",
+      w.config.n_clients, 100.0 * w.config.byzantine_frac);
+
+  fl::Trainer trainer(w.data, w.model_factory, w.config);
+
+  {
+    attacks::MinMaxAttack minmax;
+    const auto res =
+        trainer.run(minmax, fl::make_aggregator("Mean"),
+                    [](const fl::RoundObservation& obs) {
+                      if (obs.test_accuracy)
+                        std::printf("  [mean      ] round %3zu  acc %5.2f%%\n",
+                                    obs.round + 1, *obs.test_accuracy);
+                    });
+    std::printf("undefended best accuracy: %.2f%%\n\n", res.best_accuracy);
+  }
+  {
+    attacks::MinMaxAttack minmax;
+    const auto res =
+        trainer.run(minmax, fl::make_aggregator("SignGuard-Sim"),
+                    [](const fl::RoundObservation& obs) {
+                      if (obs.test_accuracy)
+                        std::printf("  [signguard ] round %3zu  acc %5.2f%%\n",
+                                    obs.round + 1, *obs.test_accuracy);
+                    });
+    std::printf("SignGuard-Sim best accuracy: %.2f%%\n", res.best_accuracy);
+    std::printf("selection rates: honest %.3f, malicious %.3f\n",
+                res.selection.honest_rate, res.selection.malicious_rate);
+  }
+  return 0;
+}

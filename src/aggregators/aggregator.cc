@@ -1,0 +1,17 @@
+#include "aggregators/aggregator.h"
+
+#include <cassert>
+
+namespace signguard::agg {
+
+// Shared precondition check for every GAR implementation.
+void check_grads(std::span<const std::vector<float>> grads) {
+  assert(!grads.empty());
+#ifndef NDEBUG
+  for (const auto& g : grads) assert(g.size() == grads.front().size());
+#else
+  (void)grads;
+#endif
+}
+
+}  // namespace signguard::agg

@@ -1,0 +1,42 @@
+#pragma once
+// Gradient aggregation rule (GAR) interface — Eq. (11): the server turns
+// the n received gradients into one global gradient. Robust baselines from
+// the paper's comparison set live in this module; the SignGuard family
+// lives in src/core and implements the same interface.
+//
+// Per the paper's experimental note, baseline defenses are "favored" by
+// being told the true Byzantine count (ctx.assumed_byzantine); SignGuard
+// deliberately ignores it.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace signguard::agg {
+
+struct GarContext {
+  std::size_t assumed_byzantine = 0;  // m given to fraction-aware baselines
+  std::size_t round = 0;
+  Rng* rng = nullptr;                 // for randomized rules
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  // Preconditions: grads non-empty, all the same dimension.
+  virtual std::vector<float> aggregate(
+      std::span<const std::vector<float>> grads, const GarContext& ctx) = 0;
+
+  virtual std::string name() const = 0;
+
+  // Client indices that contributed to the last aggregate, for rules that
+  // perform explicit selection (Krum/Bulyan/DnC/SignGuard). Empty for
+  // coordinate-wise rules where "selection" has no single meaning.
+  virtual std::vector<std::size_t> last_selected() const { return {}; }
+};
+
+}  // namespace signguard::agg

@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "aggregators/baselines.h"
+#include "aggregators/internal.h"
+#include "common/gradient_stats.h"
+#include "common/quantiles.h"
+
+namespace signguard::agg {
+
+std::vector<float> BulyanAggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+  check_grads(grads);
+  const std::size_t n = grads.size();
+  const std::size_t d = grads.front().size();
+  const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
+
+  // Phase 1: iterative Krum. Repeatedly pick the gradient with the lowest
+  // Krum score among the remaining set and move it to the selection set,
+  // until theta = n - 2m gradients are selected.
+  const std::size_t theta = std::max<std::size_t>(1, n - 2 * m);
+  const PairwiseDistances pd(grads);
+  std::vector<std::size_t> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), 0);
+  selected_.clear();
+  std::vector<double> row;
+  while (selected_.size() < theta && !remaining.empty()) {
+    const std::size_t r = remaining.size();
+    // Krum neighborhood within the remaining set.
+    const std::size_t k =
+        std::max<std::size_t>(1, r > m + 2 ? r - m - 2 : 1);
+    double best_score = std::numeric_limits<double>::max();
+    std::size_t best_pos = 0;
+    for (std::size_t a = 0; a < r; ++a) {
+      row.clear();
+      for (std::size_t b = 0; b < r; ++b)
+        if (b != a) row.push_back(pd.dist2(remaining[a], remaining[b]));
+      const std::size_t kk = std::min(k, row.size());
+      if (kk > 0)
+        std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(kk),
+                          row.end());
+      const double score = std::accumulate(
+          row.begin(), row.begin() + std::ptrdiff_t(kk), 0.0);
+      if (score < best_score) {
+        best_score = score;
+        best_pos = a;
+      }
+    }
+    selected_.push_back(remaining[best_pos]);
+    remaining.erase(remaining.begin() + std::ptrdiff_t(best_pos));
+  }
+
+  // Phase 2: per coordinate, average the beta = theta - 2m selected values
+  // closest to the coordinate median.
+  const std::size_t beta =
+      std::max<std::size_t>(1, theta > 2 * m ? theta - 2 * m : 1);
+  std::vector<float> out(d);
+  std::vector<double> column(selected_.size());
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < selected_.size(); ++i)
+      column[i] = double(grads[selected_[i]][j]);
+    out[j] = static_cast<float>(stats::mean_around_median(column, beta));
+  }
+  return out;
+}
+
+}  // namespace signguard::agg

@@ -1,0 +1,105 @@
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "aggregators/baselines.h"
+#include "aggregators/internal.h"
+#include "common/gradient_stats.h"
+#include "common/vecops.h"
+
+namespace signguard::agg {
+
+namespace {
+
+// Top right-singular direction of the centered row matrix via power
+// iteration on A^T A, where rows are the (subsampled, centered) gradients.
+// Returns the projection of every row onto that direction.
+std::vector<double> top_direction_projections(
+    const std::vector<std::vector<double>>& rows, std::size_t power_iters,
+    Rng& rng) {
+  const std::size_t n = rows.size();
+  const std::size_t d = rows.front().size();
+  std::vector<double> v(d);
+  for (auto& x : v) x = rng.normal();
+  double nv = std::sqrt(std::inner_product(v.begin(), v.end(), v.begin(), 0.0));
+  for (auto& x : v) x /= std::max(nv, 1e-12);
+
+  std::vector<double> proj(n), next(d);
+  for (std::size_t it = 0; it < power_iters; ++it) {
+    // next = A^T (A v): two passes keep it O(n d) per iteration.
+    for (std::size_t i = 0; i < n; ++i)
+      proj[i] =
+          std::inner_product(rows[i].begin(), rows[i].end(), v.begin(), 0.0);
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < d; ++j) next[j] += proj[i] * rows[i][j];
+    const double norm = std::sqrt(
+        std::inner_product(next.begin(), next.end(), next.begin(), 0.0));
+    if (norm < 1e-12) break;
+    for (std::size_t j = 0; j < d; ++j) v[j] = next[j] / norm;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    proj[i] =
+        std::inner_product(rows[i].begin(), rows[i].end(), v.begin(), 0.0);
+  return proj;
+}
+
+}  // namespace
+
+std::vector<float> DnCAggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+  check_grads(grads);
+  assert(ctx.rng != nullptr);
+  const std::size_t n = grads.size();
+  const std::size_t d = grads.front().size();
+  const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
+
+  std::vector<std::size_t> good(n);
+  std::iota(good.begin(), good.end(), 0);
+
+  const std::size_t remove_per_iter = static_cast<std::size_t>(
+      std::round(cfg_.filter_frac * double(m)));
+
+  for (std::size_t iter = 0; iter < cfg_.niters && m > 0; ++iter) {
+    if (good.size() <= remove_per_iter + 1) break;
+    // Coordinate subsampling.
+    const std::size_t b = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.subsample_frac * double(d)));
+    const auto coords = ctx.rng->sample_without_replacement(d, b);
+
+    // Build centered sub-matrix over the current good set.
+    std::vector<std::vector<double>> rows(good.size(),
+                                          std::vector<double>(b, 0.0));
+    std::vector<double> mu(b, 0.0);
+    for (std::size_t i = 0; i < good.size(); ++i)
+      for (std::size_t j = 0; j < b; ++j)
+        rows[i][j] = double(grads[good[i]][coords[j]]);
+    for (const auto& r : rows)
+      for (std::size_t j = 0; j < b; ++j) mu[j] += r[j];
+    for (auto& v : mu) v /= double(rows.size());
+    for (auto& r : rows)
+      for (std::size_t j = 0; j < b; ++j) r[j] -= mu[j];
+
+    const auto proj =
+        top_direction_projections(rows, cfg_.power_iters, *ctx.rng);
+
+    // Outlier score = squared projection; drop the highest scores.
+    std::vector<std::size_t> order(good.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+      return proj[a] * proj[a] < proj[c] * proj[c];
+    });
+    const std::size_t keep = good.size() - remove_per_iter;
+    std::vector<std::size_t> next_good;
+    next_good.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) next_good.push_back(good[order[i]]);
+    std::sort(next_good.begin(), next_good.end());
+    good = std::move(next_good);
+  }
+
+  selected_ = good;
+  return vec::mean_of_subset(grads, selected_);
+}
+
+}  // namespace signguard::agg

@@ -1,0 +1,38 @@
+#include <cmath>
+
+#include "aggregators/baselines.h"
+#include "aggregators/internal.h"
+#include "common/vecops.h"
+
+namespace signguard::agg {
+
+std::vector<float> GeoMedAggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext&) {
+  check_grads(grads);
+  const std::size_t d = grads.front().size();
+  // Weiszfeld: x <- sum_i(g_i / ||g_i - x||) / sum_i(1 / ||g_i - x||),
+  // starting from the arithmetic mean.
+  std::vector<float> x = vec::mean_of(grads);
+  std::vector<double> numer(d);
+  for (std::size_t iter = 0; iter < max_iters_; ++iter) {
+    std::fill(numer.begin(), numer.end(), 0.0);
+    double denom = 0.0;
+    for (const auto& g : grads) {
+      const double dist = std::max(vec::dist(g, x), eps_);
+      const double w = 1.0 / dist;
+      denom += w;
+      for (std::size_t j = 0; j < d; ++j) numer[j] += w * double(g[j]);
+    }
+    double movement = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double nx = numer[j] / denom;
+      const double delta = nx - double(x[j]);
+      movement += delta * delta;
+      x[j] = static_cast<float>(nx);
+    }
+    if (movement < eps_) break;
+  }
+  return x;
+}
+
+}  // namespace signguard::agg

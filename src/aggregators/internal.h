@@ -1,0 +1,11 @@
+#pragma once
+// Internal helpers shared between the GAR implementations.
+
+#include <span>
+#include <vector>
+
+namespace signguard::agg {
+
+void check_grads(std::span<const std::vector<float>> grads);
+
+}  // namespace signguard::agg

@@ -1,0 +1,46 @@
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "aggregators/baselines.h"
+#include "aggregators/internal.h"
+#include "common/gradient_stats.h"
+#include "common/vecops.h"
+
+namespace signguard::agg {
+
+std::vector<float> MultiKrumAggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+  check_grads(grads);
+  const std::size_t n = grads.size();
+  const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
+  // Krum's neighborhood size; at least 1 so tiny test fixtures work.
+  const std::size_t k =
+      std::max<std::size_t>(1, n > m + 2 ? n - m - 2 : 1);
+
+  const PairwiseDistances pd(grads);
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> row(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) row[r++] = pd.dist2(i, j);
+    const std::size_t kk = std::min(k, row.size());
+    std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(kk),
+                      row.end());
+    scores[i] = std::accumulate(row.begin(), row.begin() + std::ptrdiff_t(kk),
+                                0.0);
+  }
+
+  // Select the k best-scored gradients and average them.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  const std::size_t select = std::min(k, n);
+  selected_.assign(order.begin(), order.begin() + std::ptrdiff_t(select));
+  return vec::mean_of_subset(grads, selected_);
+}
+
+}  // namespace signguard::agg

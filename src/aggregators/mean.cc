@@ -1,0 +1,13 @@
+#include "aggregators/baselines.h"
+#include "aggregators/internal.h"
+#include "common/vecops.h"
+
+namespace signguard::agg {
+
+std::vector<float> MeanAggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext&) {
+  check_grads(grads);
+  return vec::mean_of(grads);
+}
+
+}  // namespace signguard::agg

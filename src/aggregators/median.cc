@@ -1,0 +1,30 @@
+#include <algorithm>
+
+#include "aggregators/baselines.h"
+#include "aggregators/internal.h"
+
+namespace signguard::agg {
+
+std::vector<float> MedianAggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext&) {
+  check_grads(grads);
+  const std::size_t n = grads.size();
+  const std::size_t d = grads.front().size();
+  std::vector<float> out(d);
+  std::vector<float> column(n);
+  const std::size_t mid = n / 2;
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < n; ++i) column[i] = grads[i][j];
+    std::nth_element(column.begin(), column.begin() + mid, column.end());
+    if (n % 2 == 1) {
+      out[j] = column[mid];
+    } else {
+      const float lo =
+          *std::max_element(column.begin(), column.begin() + mid);
+      out[j] = 0.5f * (lo + column[mid]);
+    }
+  }
+  return out;
+}
+
+}  // namespace signguard::agg

@@ -1,0 +1,28 @@
+#include <algorithm>
+
+#include "aggregators/baselines.h"
+#include "aggregators/internal.h"
+
+namespace signguard::agg {
+
+std::vector<float> TrimmedMeanAggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+  check_grads(grads);
+  const std::size_t n = grads.size();
+  const std::size_t d = grads.front().size();
+  // Trim m from each side but always keep at least one value.
+  const std::size_t trim =
+      std::min(ctx.assumed_byzantine, (n - 1) / 2);
+  std::vector<float> out(d);
+  std::vector<float> column(n);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < n; ++i) column[i] = grads[i][j];
+    std::sort(column.begin(), column.end());
+    double acc = 0.0;
+    for (std::size_t i = trim; i < n - trim; ++i) acc += column[i];
+    out[j] = static_cast<float>(acc / double(n - 2 * trim));
+  }
+  return out;
+}
+
+}  // namespace signguard::agg

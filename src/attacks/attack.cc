@@ -1,0 +1,9 @@
+#include "attacks/attack.h"
+
+namespace signguard::attacks {
+
+std::vector<std::vector<float>> NoAttack::craft(const AttackContext& ctx) {
+  return {ctx.byz_honest_grads.begin(), ctx.byz_honest_grads.end()};
+}
+
+}  // namespace signguard::attacks

@@ -1,0 +1,52 @@
+#pragma once
+// Model-poisoning attack interface (paper §IV-A threat model): an attacker
+// controls the m Byzantine clients, sees every benign gradient and the
+// global model, and may send arbitrary colluding gradient messages.
+//
+// Protocol per round (driven by fl::Trainer):
+//   1. begin_round(round, rng)      — attack picks per-round state
+//   2. flips_labels()               — data-poisoning attacks make Byzantine
+//                                     clients train on flipped labels
+//   3. craft(ctx)                   — returns the m malicious gradients
+//
+// ctx.byz_honest_grads holds what the Byzantine clients would send if they
+// behaved (computed on flipped labels when flips_labels() is true); attacks
+// like sign-flip and noise perturb these, while omniscient attacks (LIE,
+// ByzMean, Min-Max/Min-Sum) work from ctx.benign_grads.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace signguard::attacks {
+
+struct AttackContext {
+  std::span<const std::vector<float>> benign_grads;
+  std::span<const std::vector<float>> byz_honest_grads;
+  std::size_t n_total = 0;      // n  (benign + Byzantine)
+  std::size_t n_byzantine = 0;  // m == byz_honest_grads.size()
+  std::size_t round = 0;
+  Rng* rng = nullptr;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual void begin_round(std::size_t /*round*/, Rng& /*rng*/) {}
+  virtual bool flips_labels() const { return false; }
+  virtual std::vector<std::vector<float>> craft(const AttackContext& ctx) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Byzantine clients behave honestly (the paper's "No Attack" column).
+class NoAttack : public Attack {
+ public:
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "NoAttack"; }
+};
+
+}  // namespace signguard::attacks

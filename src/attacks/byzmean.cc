@@ -1,0 +1,54 @@
+#include "attacks/byzmean.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "attacks/lie.h"
+#include "common/vecops.h"
+
+namespace signguard::attacks {
+
+ByzMeanAttack::ByzMeanAttack(std::unique_ptr<Attack> inner,
+                             double m1_fraction)
+    : inner_(inner ? std::move(inner) : std::make_unique<LieAttack>(0.3)),
+      m1_fraction_(m1_fraction) {}
+
+void ByzMeanAttack::begin_round(std::size_t round, Rng& rng) {
+  inner_->begin_round(round, rng);
+}
+
+std::vector<std::vector<float>> ByzMeanAttack::craft(
+    const AttackContext& ctx) {
+  const std::size_t m = ctx.n_byzantine;
+  const std::size_t n = ctx.n_total;
+  if (m == 0) return {};
+  // Eq. (8) needs both groups non-empty (m >= 2); with a single Byzantine
+  // client the hybrid degenerates to the inner attack alone.
+  if (m == 1) return inner_->craft(ctx);
+  std::size_t m1 = static_cast<std::size_t>(
+      std::floor(m1_fraction_ * double(m)));
+  m1 = std::min(std::max<std::size_t>(m1, 1), m - 1);
+  const std::size_t m2 = m - m1;
+
+  // g_m1 from the inner attack (one representative vector).
+  AttackContext inner_ctx = ctx;
+  inner_ctx.n_byzantine = m1;
+  inner_ctx.byz_honest_grads = ctx.byz_honest_grads.subspan(0, m1);
+  auto inner_out = inner_->craft(inner_ctx);
+  assert(!inner_out.empty());
+  const std::vector<float>& gm1 = inner_out.front();
+
+  // g_m2 per Eq. (8): ((n - m1) * g_m1 - sum(benign)) / m2.
+  std::vector<float> gm2(gm1.size(), 0.0f);
+  for (const auto& g : ctx.benign_grads) vec::axpy(-1.0, g, gm2);
+  vec::axpy(double(n - m1), gm1, gm2);
+  vec::scale(gm2, 1.0 / double(m2));
+
+  std::vector<std::vector<float>> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m1; ++i) out.push_back(gm1);
+  for (std::size_t i = 0; i < m2; ++i) out.push_back(gm2);
+  return out;
+}
+
+}  // namespace signguard::attacks

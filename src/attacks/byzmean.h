@@ -1,0 +1,32 @@
+#pragma once
+// The paper's proposed hybrid "ByzMean" attack (§III, Eq. 8): split the m
+// Byzantine clients into two groups. Group 1 (m1 clients) sends an
+// arbitrary vector g_m1 (by default a LIE-crafted vector); group 2
+// (m2 = m - m1 clients) sends
+//   g_m2 = ((n - m1) * g_m1 - sum(benign)) / m2
+// so the mean of ALL n gradients equals exactly g_m1 — any mean-style
+// aggregation is steered wherever the attacker wants.
+
+#include <memory>
+
+#include "attacks/attack.h"
+
+namespace signguard::attacks {
+
+class ByzMeanAttack : public Attack {
+ public:
+  // inner: attack used to produce g_m1 (defaults to LIE z=0.3 when null).
+  // m1_fraction: |group 1| = floor(m1_fraction * m); paper uses 0.5.
+  explicit ByzMeanAttack(std::unique_ptr<Attack> inner = nullptr,
+                         double m1_fraction = 0.5);
+
+  void begin_round(std::size_t round, Rng& rng) override;
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "ByzMean"; }
+
+ private:
+  std::unique_ptr<Attack> inner_;
+  double m1_fraction_;
+};
+
+}  // namespace signguard::attacks

@@ -1,0 +1,103 @@
+#include "attacks/minmax_minsum.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/vecops.h"
+
+namespace signguard::attacks {
+
+std::vector<float> make_perturbation(
+    std::span<const std::vector<float>> benign, Perturbation p) {
+  assert(!benign.empty());
+  switch (p) {
+    case Perturbation::kInverseStd: {
+      const auto moments = vec::coordinate_moments(benign);
+      return vec::scaled(moments.stddev, -1.0);
+    }
+    case Perturbation::kInverseUnit: {
+      auto avg = vec::mean_of(benign);
+      const double n = vec::norm(avg);
+      vec::scale(avg, n > 0.0 ? -1.0 / n : -1.0);
+      return avg;
+    }
+    case Perturbation::kInverseSign: {
+      const auto avg = vec::mean_of(benign);
+      return vec::scaled(vec::sign(avg), -1.0);
+    }
+  }
+  return {};
+}
+
+double max_feasible_gamma(const std::function<bool(double)>& feasible,
+                          double gamma_cap) {
+  if (feasible(gamma_cap)) return gamma_cap;
+  double lo = 0.0, hi = gamma_cap;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+namespace {
+
+std::vector<std::vector<float>> craft_perturbed(
+    const AttackContext& ctx, Perturbation perturbation, bool min_max,
+    double& gamma_out) {
+  assert(!ctx.benign_grads.empty());
+  const auto avg = vec::mean_of(ctx.benign_grads);
+  const auto dp = make_perturbation(ctx.benign_grads, perturbation);
+  const std::size_t nb = ctx.benign_grads.size();
+
+  // Benign-to-benign distance bounds (right-hand sides of Eqs. 14/15).
+  double max_pair_d2 = 0.0;
+  std::vector<double> sum_d2(nb, 0.0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = i + 1; j < nb; ++j) {
+      const double d2 = vec::dist2(ctx.benign_grads[i], ctx.benign_grads[j]);
+      max_pair_d2 = std::max(max_pair_d2, d2);
+      sum_d2[i] += d2;
+      sum_d2[j] += d2;
+    }
+  }
+  const double max_sum_d2 =
+      nb > 0 ? *std::max_element(sum_d2.begin(), sum_d2.end()) : 0.0;
+
+  auto gm_for = [&](double gamma) {
+    auto gm = avg;
+    vec::axpy(gamma, dp, gm);
+    return gm;
+  };
+  auto feasible = [&](double gamma) {
+    const auto gm = gm_for(gamma);
+    if (min_max) {
+      double worst = 0.0;
+      for (const auto& g : ctx.benign_grads)
+        worst = std::max(worst, vec::dist2(gm, g));
+      return worst <= max_pair_d2;
+    }
+    double total = 0.0;
+    for (const auto& g : ctx.benign_grads) total += vec::dist2(gm, g);
+    return total <= max_sum_d2;
+  };
+
+  gamma_out = max_feasible_gamma(feasible);
+  const auto gm = gm_for(gamma_out);
+  return std::vector<std::vector<float>>(ctx.n_byzantine, gm);
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> MinMaxAttack::craft(const AttackContext& ctx) {
+  return craft_perturbed(ctx, perturbation_, /*min_max=*/true, last_gamma_);
+}
+
+std::vector<std::vector<float>> MinSumAttack::craft(const AttackContext& ctx) {
+  return craft_perturbed(ctx, perturbation_, /*min_max=*/false, last_gamma_);
+}
+
+}  // namespace signguard::attacks

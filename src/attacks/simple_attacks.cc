@@ -1,0 +1,58 @@
+#include "attacks/simple_attacks.h"
+
+#include <cassert>
+
+#include "common/vecops.h"
+
+namespace signguard::attacks {
+
+std::vector<std::vector<float>> RandomAttack::craft(const AttackContext& ctx) {
+  assert(ctx.rng != nullptr);
+  const std::size_t d =
+      ctx.benign_grads.empty() ? 0 : ctx.benign_grads.front().size();
+  std::vector<std::vector<float>> out;
+  out.reserve(ctx.n_byzantine);
+  for (std::size_t i = 0; i < ctx.n_byzantine; ++i)
+    out.push_back(ctx.rng->normal_vector(d, mean_, stddev_));
+  return out;
+}
+
+std::vector<std::vector<float>> NoiseAttack::craft(const AttackContext& ctx) {
+  assert(ctx.rng != nullptr);
+  std::vector<std::vector<float>> out;
+  out.reserve(ctx.n_byzantine);
+  for (const auto& g : ctx.byz_honest_grads) {
+    auto noisy = g;
+    for (auto& v : noisy)
+      v = static_cast<float>(double(v) + ctx.rng->normal(mean_, stddev_));
+    out.push_back(std::move(noisy));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> SignFlipAttack::craft(
+    const AttackContext& ctx) {
+  std::vector<std::vector<float>> out;
+  out.reserve(ctx.n_byzantine);
+  for (const auto& g : ctx.byz_honest_grads)
+    out.push_back(vec::scaled(g, -1.0));
+  return out;
+}
+
+std::vector<std::vector<float>> LabelFlipAttack::craft(
+    const AttackContext& ctx) {
+  // The poisoning happened during local training (flipped labels); the
+  // gradients are forwarded unmodified.
+  return {ctx.byz_honest_grads.begin(), ctx.byz_honest_grads.end()};
+}
+
+std::vector<std::vector<float>> ReverseScalingAttack::craft(
+    const AttackContext& ctx) {
+  std::vector<std::vector<float>> out;
+  out.reserve(ctx.n_byzantine);
+  for (const auto& g : ctx.byz_honest_grads)
+    out.push_back(vec::scaled(g, -scale_));
+  return out;
+}
+
+}  // namespace signguard::attacks

@@ -1,0 +1,62 @@
+#pragma once
+// The "simple attacks" of the paper's evaluation (§V-B) plus the scaled
+// reverse attack used by the Table III ablation:
+//   Random        g_m ~ N(mu, sigma^2 I)
+//   Noise         g_m = g_b + N(mu, sigma^2 I)
+//   Sign-flip     g_m = -g_b
+//   Label-flip    g_m = gradient computed on labels l -> C-1-l
+//   Reverse(r)    g_m = -r * g_b   (DETOX's reverse attack with scaling)
+
+#include "attacks/attack.h"
+
+namespace signguard::attacks {
+
+class RandomAttack : public Attack {
+ public:
+  explicit RandomAttack(double mean = 0.0, double stddev = 0.5)
+      : mean_(mean), stddev_(stddev) {}
+
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  double mean_, stddev_;
+};
+
+class NoiseAttack : public Attack {
+ public:
+  explicit NoiseAttack(double mean = 0.0, double stddev = 0.5)
+      : mean_(mean), stddev_(stddev) {}
+
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "Noise"; }
+
+ private:
+  double mean_, stddev_;
+};
+
+class SignFlipAttack : public Attack {
+ public:
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "SignFlip"; }
+};
+
+class LabelFlipAttack : public Attack {
+ public:
+  bool flips_labels() const override { return true; }
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "LabelFlip"; }
+};
+
+class ReverseScalingAttack : public Attack {
+ public:
+  explicit ReverseScalingAttack(double scale) : scale_(scale) {}
+
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "Reverse"; }
+
+ private:
+  double scale_;
+};
+
+}  // namespace signguard::attacks

@@ -1,0 +1,63 @@
+#include "attacks/time_varying.h"
+
+#include <cassert>
+
+#include "attacks/byzmean.h"
+#include "attacks/lie.h"
+#include "attacks/minmax_minsum.h"
+#include "attacks/simple_attacks.h"
+
+namespace signguard::attacks {
+
+namespace {
+
+std::vector<std::unique_ptr<Attack>> default_pool() {
+  std::vector<std::unique_ptr<Attack>> pool;
+  pool.push_back(std::make_unique<NoAttack>());
+  pool.push_back(std::make_unique<RandomAttack>());
+  pool.push_back(std::make_unique<SignFlipAttack>());
+  pool.push_back(std::make_unique<LieAttack>());
+  pool.push_back(std::make_unique<ByzMeanAttack>());
+  pool.push_back(std::make_unique<MinMaxAttack>());
+  pool.push_back(std::make_unique<MinSumAttack>());
+  return pool;
+}
+
+}  // namespace
+
+TimeVaryingAttack::TimeVaryingAttack(std::size_t rounds_per_epoch,
+                                     std::uint64_t seed)
+    : TimeVaryingAttack(default_pool(), rounds_per_epoch, seed) {}
+
+TimeVaryingAttack::TimeVaryingAttack(
+    std::vector<std::unique_ptr<Attack>> pool, std::size_t rounds_per_epoch,
+    std::uint64_t seed)
+    : pool_(std::move(pool)),
+      rounds_per_epoch_(rounds_per_epoch == 0 ? 1 : rounds_per_epoch),
+      selector_(seed) {
+  assert(!pool_.empty());
+}
+
+void TimeVaryingAttack::begin_round(std::size_t round, Rng& rng) {
+  const std::size_t epoch = round / rounds_per_epoch_;
+  if (epoch != current_epoch_) {
+    current_epoch_ = epoch;
+    current_idx_ = std::size_t(selector_.randint(0, int(pool_.size()) - 1));
+  }
+  pool_[current_idx_]->begin_round(round, rng);
+}
+
+bool TimeVaryingAttack::flips_labels() const {
+  return pool_[current_idx_]->flips_labels();
+}
+
+std::vector<std::vector<float>> TimeVaryingAttack::craft(
+    const AttackContext& ctx) {
+  return pool_[current_idx_]->craft(ctx);
+}
+
+std::string TimeVaryingAttack::current() const {
+  return pool_[current_idx_]->name();
+}
+
+}  // namespace signguard::attacks

@@ -1,0 +1,37 @@
+#pragma once
+// Time-varying attack strategy (paper §VI-A, Fig. 5): the adversary
+// switches attack randomly at every epoch, including rounds of behaving
+// honestly. Owns a pool of sub-attacks and delegates to the one active in
+// the current epoch.
+
+#include <memory>
+#include <vector>
+
+#include "attacks/attack.h"
+
+namespace signguard::attacks {
+
+class TimeVaryingAttack : public Attack {
+ public:
+  // Default pool: NoAttack, Random, SignFlip, LIE, ByzMean, MinMax, MinSum.
+  TimeVaryingAttack(std::size_t rounds_per_epoch, std::uint64_t seed);
+  TimeVaryingAttack(std::vector<std::unique_ptr<Attack>> pool,
+                    std::size_t rounds_per_epoch, std::uint64_t seed);
+
+  void begin_round(std::size_t round, Rng& rng) override;
+  bool flips_labels() const override;
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  std::string name() const override { return "TimeVarying"; }
+
+  // Active sub-attack name (after begin_round), for logging.
+  std::string current() const;
+
+ private:
+  std::vector<std::unique_ptr<Attack>> pool_;
+  std::size_t rounds_per_epoch_;
+  Rng selector_;
+  std::size_t current_epoch_ = SIZE_MAX;
+  std::size_t current_idx_ = 0;
+};
+
+}  // namespace signguard::attacks

@@ -1,0 +1,23 @@
+#pragma once
+// Shared result type for the clustering algorithms: a label per point plus
+// per-cluster sizes. SignGuard's sign-based filter keeps the largest
+// cluster as the trusted set (paper §IV-B).
+
+#include <cstddef>
+#include <vector>
+
+namespace signguard::cluster {
+
+struct ClusterResult {
+  std::vector<int> labels;          // cluster id per point, in [0, n_clusters)
+  std::size_t n_clusters = 0;
+  std::vector<std::size_t> sizes;   // indexed by cluster id
+
+  // Id of the most populated cluster (lowest id wins ties).
+  int largest_cluster() const;
+
+  // Indices of the points belonging to `cluster_id`.
+  std::vector<std::size_t> members(int cluster_id) const;
+};
+
+}  // namespace signguard::cluster

@@ -1,0 +1,103 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/vecops.h"
+
+namespace signguard::cluster {
+
+int ClusterResult::largest_cluster() const {
+  assert(n_clusters > 0);
+  return int(std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+std::vector<std::size_t> ClusterResult::members(int cluster_id) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] == cluster_id) out.push_back(i);
+  return out;
+}
+
+ClusterResult kmeans(std::span<const std::vector<float>> points,
+                     const KMeansConfig& cfg, Rng& rng) {
+  const std::size_t n = points.size();
+  ClusterResult result;
+  if (n == 0) return result;
+  const std::size_t k = std::min(cfg.k, n);
+  const std::size_t d = points.front().size();
+
+  // k-means++ seeding.
+  std::vector<std::vector<float>> centers;
+  centers.reserve(k);
+  centers.push_back(points[std::size_t(rng.randint(0, int(n) - 1))]);
+  std::vector<double> min_d2(n, 0.0);
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centers)
+        best = std::min(best, vec::dist2(points[i], c));
+      min_d2[i] = best;
+      total += best;
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double r = rng.uniform(0.0, total);
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= min_d2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = std::size_t(rng.randint(0, int(n) - 1));
+    }
+    centers.push_back(points[chosen]);
+  }
+
+  std::vector<int> labels(n, 0);
+  for (std::size_t iter = 0; iter < cfg.max_iters; ++iter) {
+    // Assign.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = vec::dist2(points[i], centers[c]);
+        if (d2 < best) {
+          best = d2;
+          best_c = int(c);
+        }
+      }
+      labels[i] = best_c;
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[std::size_t(labels[i])];
+      for (std::size_t j = 0; j < d; ++j)
+        sums[std::size_t(labels[i])][j] += points[i][j];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep empty-cluster center in place
+      std::vector<float> nc(d);
+      for (std::size_t j = 0; j < d; ++j)
+        nc[j] = static_cast<float>(sums[c][j] / double(counts[c]));
+      movement += vec::dist2(centers[c], nc);
+      centers[c] = std::move(nc);
+    }
+    if (movement < cfg.tol) break;
+  }
+
+  result.labels = std::move(labels);
+  result.n_clusters = k;
+  result.sizes.assign(k, 0);
+  for (const int l : result.labels) ++result.sizes[std::size_t(l)];
+  return result;
+}
+
+}  // namespace signguard::cluster

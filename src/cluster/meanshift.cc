@@ -1,0 +1,99 @@
+#include "cluster/meanshift.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/quantiles.h"
+#include "common/vecops.h"
+
+namespace signguard::cluster {
+
+double estimate_bandwidth(std::span<const std::vector<float>> points,
+                          double quantile) {
+  // sklearn-style estimator: for each point take the distance to its
+  // k-th nearest neighbour (k = quantile * n) and average. This tracks
+  // the local cluster scale rather than the global spread, so tight
+  // majority clusters get a bandwidth that still covers them.
+  const std::size_t n = points.size();
+  if (n < 2) return 1e-3;
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(quantile * double(n)));
+  std::vector<double> row(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      row[j] = vec::dist(points[i], points[j]);
+    std::nth_element(row.begin(), row.begin() + std::min(k, n - 1),
+                     row.end());
+    acc += row[std::min(k, n - 1)];
+  }
+  return std::max(acc / double(n), 1e-3);
+}
+
+ClusterResult mean_shift(std::span<const std::vector<float>> points,
+                         const MeanShiftConfig& cfg) {
+  ClusterResult result;
+  const std::size_t n = points.size();
+  if (n == 0) return result;
+  const std::size_t d = points.front().size();
+  const double bw = cfg.bandwidth > 0.0
+                        ? cfg.bandwidth
+                        : estimate_bandwidth(points, cfg.bandwidth_quantile);
+  const double bw2 = bw * bw;
+
+  // Shift every point to its local mode under the flat kernel.
+  std::vector<std::vector<float>> modes(points.begin(), points.end());
+  std::vector<double> win(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t iter = 0; iter < cfg.max_iters; ++iter) {
+      std::fill(win.begin(), win.end(), 0.0);
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (vec::dist2(modes[i], points[j]) <= bw2) {
+          ++count;
+          for (std::size_t k = 0; k < d; ++k) win[k] += points[j][k];
+        }
+      }
+      // A point normally sits inside its own window; a non-finite feature
+      // row (possible with adversarial inputs) fails every distance test.
+      // Leave it where it is — it will isolate into its own cluster.
+      if (count == 0) break;
+      double shift2 = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double nk = win[k] / double(count);
+        const double delta = nk - double(modes[i][k]);
+        shift2 += delta * delta;
+        modes[i][k] = static_cast<float>(nk);
+      }
+      if (shift2 < cfg.tol * cfg.tol) break;
+    }
+  }
+
+  // Merge modes within one bandwidth of each other (sklearn semantics)
+  // and label points by merged mode.
+  const double merge2 = bw * bw;
+  std::vector<std::vector<float>> centers;
+  result.labels.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    int assigned = -1;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (vec::dist2(modes[i], centers[c]) <= merge2) {
+        assigned = int(c);
+        break;
+      }
+    }
+    if (assigned < 0) {
+      centers.push_back(modes[i]);
+      assigned = int(centers.size()) - 1;
+    }
+    result.labels[i] = assigned;
+  }
+  result.n_clusters = centers.size();
+  result.sizes.assign(result.n_clusters, 0);
+  for (const int l : result.labels) ++result.sizes[std::size_t(l)];
+  return result;
+}
+
+}  // namespace signguard::cluster

@@ -1,0 +1,84 @@
+#include "common/gradient_stats.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/quantiles.h"
+#include "common/vecops.h"
+
+namespace signguard {
+
+SignStats sign_statistics(std::span<const float> g) {
+  SignStats s;
+  if (g.empty()) return s;
+  std::size_t pos = 0, zero = 0, neg = 0;
+  for (const float v : g) {
+    if (v > 0.0f)
+      ++pos;
+    else if (v < 0.0f)
+      ++neg;
+    else
+      ++zero;
+  }
+  const double n = double(g.size());
+  s.pos = double(pos) / n;
+  s.zero = double(zero) / n;
+  s.neg = double(neg) / n;
+  return s;
+}
+
+SignStats sign_statistics(std::span<const float> g,
+                          std::span<const std::size_t> coords) {
+  SignStats s;
+  if (coords.empty()) return s;
+  std::size_t pos = 0, zero = 0, neg = 0;
+  for (const std::size_t j : coords) {
+    assert(j < g.size());
+    const float v = g[j];
+    if (v > 0.0f)
+      ++pos;
+    else if (v < 0.0f)
+      ++neg;
+    else
+      ++zero;
+  }
+  const double n = double(coords.size());
+  s.pos = double(pos) / n;
+  s.zero = double(zero) / n;
+  s.neg = double(neg) / n;
+  return s;
+}
+
+std::vector<std::size_t> select_coordinates(std::size_t d, double frac,
+                                            Rng& rng) {
+  assert(frac > 0.0 && frac <= 1.0);
+  const auto k =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(frac * double(d))));
+  return rng.sample_without_replacement(d, k);
+}
+
+PairwiseDistances::PairwiseDistances(
+    std::span<const std::vector<float>> grads)
+    : n_(grads.size()), d2_(grads.size() * grads.size(), 0.0) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double d2 = vec::dist2(grads[i], grads[j]);
+      d2_[i * n_ + j] = d2;
+      d2_[j * n_ + i] = d2;
+    }
+  }
+}
+
+double median_pairwise_cosine(std::span<const std::vector<float>> grads,
+                              std::size_t self) {
+  assert(grads.size() >= 2);
+  std::vector<double> sims;
+  sims.reserve(grads.size() - 1);
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    if (j == self) continue;
+    sims.push_back(vec::cosine(grads[self], grads[j]));
+  }
+  return stats::median(sims);
+}
+
+}  // namespace signguard

@@ -1,0 +1,56 @@
+#pragma once
+// Gradient-level statistics used by SignGuard's filters (paper §IV-B) and
+// by the Fig. 2 sign-statistics experiment: proportions of positive / zero /
+// negative elements, optionally restricted to a random coordinate subset,
+// plus pairwise-distance machinery shared by Krum/Bulyan/Min-Max/Min-Sum.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace signguard {
+
+// Proportions of element signs in a gradient; pos + zero + neg == 1.
+struct SignStats {
+  double pos = 0.0;
+  double zero = 0.0;
+  double neg = 0.0;
+};
+
+// Sign statistics over all coordinates of g.
+SignStats sign_statistics(std::span<const float> g);
+
+// Sign statistics over the subset of coordinates in `coords`.
+SignStats sign_statistics(std::span<const float> g,
+                          std::span<const std::size_t> coords);
+
+// Randomized coordinate selection for the sign-based filter: chooses
+// ceil(frac * d) distinct coordinates of a d-dimensional gradient.
+std::vector<std::size_t> select_coordinates(std::size_t d, double frac,
+                                            Rng& rng);
+
+// Symmetric n x n matrix of squared Euclidean distances between gradients.
+// Stored dense; entry (i, j) at [i * n + j].
+class PairwiseDistances {
+ public:
+  explicit PairwiseDistances(std::span<const std::vector<float>> grads);
+
+  double dist2(std::size_t i, std::size_t j) const {
+    return d2_[i * n_ + j];
+  }
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> d2_;
+};
+
+// Median of pairwise cosine similarities between g and every other gradient
+// in `grads` except index `self` — the "correct gradient" proxy the paper
+// suggests when no previous aggregate is available.
+double median_pairwise_cosine(std::span<const std::vector<float>> grads,
+                              std::size_t self);
+
+}  // namespace signguard

@@ -1,0 +1,82 @@
+#include "common/quantiles.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace signguard::stats {
+
+namespace {
+
+double median_in_place(std::vector<double>& v) {
+  assert(!v.empty());
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  const double hi = v[mid];
+  if (n % 2 == 1) return hi;
+  // Even size: the other middle element is the max of the lower half.
+  const double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double median(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  return median_in_place(v);
+}
+
+double median(std::span<const float> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  return median_in_place(v);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * double(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - double(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double trimmed_mean(std::span<const double> xs, std::size_t trim) {
+  assert(xs.size() > 2 * trim);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  double acc = 0.0;
+  for (std::size_t i = trim; i < v.size() - trim; ++i) acc += v[i];
+  return acc / double(v.size() - 2 * trim);
+}
+
+double mean_around_median(std::span<const double> xs, std::size_t k) {
+  assert(k >= 1 && k <= xs.size());
+  const double med = median(xs);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end(), [med](double a, double b) {
+    return std::abs(a - med) < std::abs(b - med);
+  });
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += v[i];
+  return acc / double(k);
+}
+
+double mean(std::span<const double> xs) {
+  assert(!xs.empty());
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / double(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / double(xs.size()));
+}
+
+}  // namespace signguard::stats

@@ -1,0 +1,34 @@
+#pragma once
+// Order statistics over small scalar samples: medians, quantiles and
+// trimmed means. These back the coordinate-wise robust aggregation rules
+// and SignGuard's norm-median reference.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace signguard::stats {
+
+// Median of a sample (copies, so the input is untouched). For even sizes
+// returns the average of the two middle elements. Precondition: non-empty.
+double median(std::span<const double> xs);
+double median(std::span<const float> xs);
+
+// q-quantile (0 <= q <= 1) by linear interpolation between order statistics.
+double quantile(std::span<const double> xs, double q);
+
+// Mean after removing the `trim` smallest and `trim` largest entries.
+// Precondition: xs.size() > 2 * trim.
+double trimmed_mean(std::span<const double> xs, std::size_t trim);
+
+// Mean of the k values closest to the median of xs (Bulyan's coordinate
+// step). Precondition: 1 <= k <= xs.size().
+double mean_around_median(std::span<const double> xs, std::size_t k);
+
+// Arithmetic mean; Precondition: non-empty.
+double mean(std::span<const double> xs);
+
+// Population standard deviation; Precondition: non-empty.
+double stddev(std::span<const double> xs);
+
+}  // namespace signguard::stats

@@ -1,0 +1,64 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace signguard {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::randint(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Rng Rng::split() {
+  // A single 64-bit draw seeds the child; mixing with a constant keeps the
+  // child stream decorrelated from the parent's subsequent output.
+  const std::uint64_t child_seed = engine_() ^ 0x9e3779b97f4a7c15ULL;
+  return Rng(child_seed);
+}
+
+void Rng::shuffle(std::span<std::size_t> items) {
+  std::shuffle(items.begin(), items.end(), engine_);
+}
+
+void Rng::shuffle(std::span<int> items) {
+  std::shuffle(items.begin(), items.end(), engine_);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  k = std::min(k, n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: only the first k positions need to be finalized.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uniform_int_distribution<std::size_t> dist(i, n - 1);
+    std::swap(all[i], all[dist(engine_)]);
+  }
+  all.resize(k);
+  return all;
+}
+
+std::vector<float> Rng::normal_vector(std::size_t n, double mean,
+                                      double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(dist(engine_));
+  return out;
+}
+
+}  // namespace signguard

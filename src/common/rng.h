@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in the library (data generation, mini-batch
+// sampling, attacks, clustering seeds) draws from an explicitly seeded Rng
+// so that a whole federated-learning experiment is a pure function of its
+// configuration seed.
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace signguard {
+
+// A seedable pseudo-random generator with the distribution helpers the
+// library needs. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  // Standard normal draw scaled to N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int randint(int lo, int hi);
+
+  // Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  // Derive an independent child generator; advancing the child does not
+  // affect this generator beyond the single draw used to seed it.
+  Rng split();
+
+  // Fisher-Yates shuffle of an index container.
+  void shuffle(std::span<std::size_t> items);
+  void shuffle(std::span<int> items);
+
+  // k distinct indices sampled uniformly from [0, n). Order is random.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  // Vector of n iid N(mean, stddev^2) floats.
+  std::vector<float> normal_vector(std::size_t n, double mean = 0.0,
+                                   double stddev = 1.0);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace signguard

@@ -1,0 +1,27 @@
+#pragma once
+// Aligned plain-text table printer used by the bench harnesses to emit
+// paper-style tables (Table I/II/III rows and figure series).
+
+#include <string>
+#include <vector>
+
+namespace signguard {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Formats a double with fixed precision; convenience for accuracy cells.
+  static std::string fmt(double v, int precision = 2);
+
+  // Renders the table with column alignment and a header separator.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace signguard

@@ -1,0 +1,125 @@
+#include "common/vecops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace signguard::vec {
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * double(b[i]);
+  return acc;
+}
+
+double norm(std::span<const float> a) { return std::sqrt(dot(a, a)); }
+
+double dist2(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double dist(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(dist2(a, b));
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) {
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+void axpy(double alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = static_cast<float>(double(y[i]) + alpha * double(x[i]));
+}
+
+void scale(std::span<float> x, double alpha) {
+  for (auto& v : x) v = static_cast<float>(double(v) * alpha);
+}
+
+std::vector<float> sub(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<float> add(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<float> scaled(std::span<const float> a, double alpha) {
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = static_cast<float>(double(a[i]) * alpha);
+  return out;
+}
+
+std::vector<float> mean_of(std::span<const std::vector<float>> vs) {
+  assert(!vs.empty());
+  std::vector<float> out(vs.front().size(), 0.0f);
+  for (const auto& v : vs) axpy(1.0, v, out);
+  scale(out, 1.0 / double(vs.size()));
+  return out;
+}
+
+std::vector<float> mean_of_subset(std::span<const std::vector<float>> vs,
+                                  std::span<const std::size_t> indices) {
+  assert(!indices.empty());
+  std::vector<float> out(vs.front().size(), 0.0f);
+  for (const std::size_t idx : indices) axpy(1.0, vs[idx], out);
+  scale(out, 1.0 / double(indices.size()));
+  return out;
+}
+
+CoordinateMoments coordinate_moments(std::span<const std::vector<float>> vs) {
+  assert(!vs.empty());
+  const std::size_t d = vs.front().size();
+  const double n = double(vs.size());
+  CoordinateMoments m;
+  m.mean.assign(d, 0.0f);
+  m.stddev.assign(d, 0.0f);
+  std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
+  for (const auto& v : vs) {
+    for (std::size_t j = 0; j < d; ++j) {
+      sum[j] += v[j];
+      sum_sq[j] += double(v[j]) * double(v[j]);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double mu = sum[j] / n;
+    const double var = std::max(0.0, sum_sq[j] / n - mu * mu);
+    m.mean[j] = static_cast<float>(mu);
+    m.stddev[j] = static_cast<float>(std::sqrt(var));
+  }
+  return m;
+}
+
+void clip_norm(std::span<float> x, double bound) {
+  const double n = norm(x);
+  if (n > bound && n > 0.0) scale(x, bound / n);
+}
+
+std::vector<float> sign(std::span<const float> a) {
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = a[i] > 0.0f ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+  return out;
+}
+
+void zero(std::span<float> out) {
+  for (auto& v : out) v = 0.0f;
+}
+
+}  // namespace signguard::vec

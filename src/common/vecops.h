@@ -1,0 +1,67 @@
+#pragma once
+// Dense float-vector primitives shared by the NN library, the attacks and
+// the aggregation rules. Gradients throughout the project are flat
+// std::vector<float> buffers; read-only views are std::span<const float>.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace signguard::vec {
+
+// Inner product <a, b>. Preconditions: a.size() == b.size().
+double dot(std::span<const float> a, std::span<const float> b);
+
+// Euclidean norm ||a||_2.
+double norm(std::span<const float> a);
+
+// Squared Euclidean distance ||a - b||^2.
+double dist2(std::span<const float> a, std::span<const float> b);
+
+// Euclidean distance ||a - b||.
+double dist(std::span<const float> a, std::span<const float> b);
+
+// Cosine similarity <a,b>/(||a||·||b||); 0 when either norm is 0.
+double cosine(std::span<const float> a, std::span<const float> b);
+
+// y += alpha * x  (classic axpy).
+void axpy(double alpha, std::span<const float> x, std::span<float> y);
+
+// x *= alpha.
+void scale(std::span<float> x, double alpha);
+
+// Element-wise out = a - b.
+std::vector<float> sub(std::span<const float> a, std::span<const float> b);
+
+// Element-wise out = a + b.
+std::vector<float> add(std::span<const float> a, std::span<const float> b);
+
+// out = alpha * a.
+std::vector<float> scaled(std::span<const float> a, double alpha);
+
+// Arithmetic mean of a non-empty set of equal-length vectors.
+std::vector<float> mean_of(std::span<const std::vector<float>> vs);
+
+// Mean of the subset vs[idx] for idx in `indices` (non-empty).
+std::vector<float> mean_of_subset(std::span<const std::vector<float>> vs,
+                                  std::span<const std::size_t> indices);
+
+// Coordinate-wise mean and standard deviation (population, i.e. /n) over a
+// set of equal-length vectors.
+struct CoordinateMoments {
+  std::vector<float> mean;
+  std::vector<float> stddev;
+};
+CoordinateMoments coordinate_moments(std::span<const std::vector<float>> vs);
+
+// In-place rescale so that ||x|| <= bound (no-op when already within, or
+// when ||x|| == 0).
+void clip_norm(std::span<float> x, double bound);
+
+// Element-wise sign as -1 / 0 / +1 stored in int8-like floats.
+std::vector<float> sign(std::span<const float> a);
+
+// Fills `out` with zeros; convenience for accumulators.
+void zero(std::span<float> out);
+
+}  // namespace signguard::vec

@@ -1,0 +1,136 @@
+#include "core/filters.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "common/gradient_stats.h"
+#include "common/quantiles.h"
+#include "common/vecops.h"
+
+namespace signguard::core {
+
+NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
+                             const NormFilterConfig& cfg) {
+  NormFilterResult r;
+  r.norms.reserve(grads.size());
+  for (const auto& g : grads) r.norms.push_back(vec::norm(g));
+  // Byzantine payloads may carry NaN/Inf; they are rejected outright and
+  // excluded from the median so they cannot poison the reference norm.
+  std::vector<double> finite;
+  finite.reserve(r.norms.size());
+  for (const double n : r.norms)
+    if (std::isfinite(n)) finite.push_back(n);
+  if (finite.empty()) return r;  // nothing trustworthy this round
+  r.median_norm = stats::median(finite);
+  // Degenerate case: all-zero gradients; accept the finite ones (nothing
+  // to threshold against) and let aggregation return zero.
+  if (r.median_norm <= 0.0) {
+    for (std::size_t i = 0; i < grads.size(); ++i)
+      if (std::isfinite(r.norms[i])) r.accepted.push_back(i);
+    return r;
+  }
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    if (!std::isfinite(r.norms[i])) continue;
+    const double ratio = r.norms[i] / r.median_norm;
+    if (ratio >= cfg.lower && ratio <= cfg.upper) r.accepted.push_back(i);
+  }
+  return r;
+}
+
+SignClusterResult sign_cluster_filter(
+    std::span<const std::vector<float>> grads,
+    std::span<const float> reference, double median_norm,
+    const SignClusterConfig& cfg, Rng& rng) {
+  SignClusterResult result;
+  const std::size_t n = grads.size();
+  if (n == 0) return result;
+  const std::size_t d = grads.front().size();
+
+  // Randomized coordinate selection, shared by every gradient this round.
+  const auto coords = select_coordinates(d, cfg.coord_frac, rng);
+
+  result.features.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SignStats s = sign_statistics(grads[i], coords);
+    std::vector<float> f = {static_cast<float>(s.pos),
+                            static_cast<float>(s.zero),
+                            static_cast<float>(s.neg)};
+    switch (cfg.similarity) {
+      case SimilarityFeature::kNone:
+        break;
+      case SimilarityFeature::kCosine: {
+        const double sim =
+            reference.empty() ? median_pairwise_cosine(grads, i)
+                              : vec::cosine(grads[i], reference);
+        f.push_back(static_cast<float>(sim));
+        break;
+      }
+      case SimilarityFeature::kDistance: {
+        double dist;
+        if (reference.empty()) {
+          // Median distance to the other gradients as the proxy.
+          std::vector<double> ds;
+          ds.reserve(n - 1);
+          for (std::size_t j = 0; j < n; ++j)
+            if (j != i) ds.push_back(vec::dist(grads[i], grads[j]));
+          dist = ds.empty() ? 0.0 : stats::median(ds);
+        } else {
+          dist = vec::dist(grads[i], reference);
+        }
+        // Normalize by the median norm so the feature is dimensionless and
+        // comparable in scale to the sign proportions.
+        const double scale = median_norm > 0.0 ? median_norm : 1.0;
+        f.push_back(static_cast<float>(dist / scale));
+        break;
+      }
+    }
+    result.features.push_back(std::move(f));
+  }
+
+  cluster::ClusterResult cr;
+  if (cfg.clusterer == Clusterer::kMeanShift) {
+    cr = cluster::mean_shift(result.features, cfg.meanshift);
+  } else {
+    cluster::KMeansConfig km;
+    km.k = 2;
+    cr = cluster::kmeans(result.features, km, rng);
+  }
+  result.n_clusters = cr.n_clusters;
+  result.accepted = cr.members(cr.largest_cluster());
+  return result;
+}
+
+std::vector<float> clipped_mean(std::span<const std::vector<float>> grads,
+                                std::span<const std::size_t> selected,
+                                double bound, bool clip) {
+  assert(!selected.empty());
+  const std::size_t d = grads.front().size();
+  std::vector<float> out(d, 0.0f);
+  for (const std::size_t idx : selected) {
+    const auto& g = grads[idx];
+    double w = 1.0;
+    if (clip && bound > 0.0) {
+      const double nrm = vec::norm(g);
+      if (nrm > bound) w = bound / nrm;
+    }
+    vec::axpy(w, g, out);
+  }
+  vec::scale(out, 1.0 / double(selected.size()));
+  return out;
+}
+
+std::vector<std::size_t> intersect_indices(std::span<const std::size_t> a,
+                                           std::span<const std::size_t> b) {
+  std::vector<std::size_t> sa(a.begin(), a.end());
+  std::vector<std::size_t> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<std::size_t> out;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace signguard::core

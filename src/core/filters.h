@@ -1,0 +1,73 @@
+#pragma once
+// The two collaborative filters of SignGuard (paper Algorithm 2) as
+// standalone, individually testable components, plus the norm-clipped mean
+// aggregation step. The SignGuard aggregator composes them; the Table III
+// ablation bench toggles them one by one.
+
+#include <span>
+#include <vector>
+
+#include "cluster/meanshift.h"
+#include "common/rng.h"
+
+namespace signguard::core {
+
+// ---- Step 1: norm-based thresholding --------------------------------------
+
+struct NormFilterConfig {
+  double lower = 0.1;  // L: loose lower bound (small gradients are harmless)
+  double upper = 3.0;  // R: strict upper bound (huge gradients are malicious)
+};
+
+struct NormFilterResult {
+  std::vector<std::size_t> accepted;  // S1: indices with L <= ||g||/M <= R
+  double median_norm = 0.0;           // M, reused as the clipping bound
+  std::vector<double> norms;          // per-gradient l2 norms
+};
+
+NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
+                             const NormFilterConfig& cfg);
+
+// ---- Step 2: sign-based clustering -----------------------------------------
+
+// Which similarity feature to append to the sign statistics: none is the
+// plain SignGuard; cosine is SignGuard-Sim; distance is SignGuard-Dist.
+enum class SimilarityFeature { kNone, kCosine, kDistance };
+
+enum class Clusterer { kMeanShift, kKMeans2 };
+
+struct SignClusterConfig {
+  double coord_frac = 0.1;  // fraction of coordinates randomly sampled
+  SimilarityFeature similarity = SimilarityFeature::kNone;
+  Clusterer clusterer = Clusterer::kMeanShift;
+  cluster::MeanShiftConfig meanshift = {};
+};
+
+struct SignClusterResult {
+  std::vector<std::size_t> accepted;        // S2: the largest cluster
+  std::vector<std::vector<float>> features; // per-gradient feature rows
+  std::size_t n_clusters = 0;
+};
+
+// `reference` is the "correct gradient" proxy for the similarity feature
+// (the previous round's aggregate). When empty, the median of pairwise
+// similarities is used instead, as suggested in §IV-B. `median_norm`
+// normalizes the distance feature to a dimensionless scale.
+SignClusterResult sign_cluster_filter(
+    std::span<const std::vector<float>> grads, std::span<const float> reference,
+    double median_norm, const SignClusterConfig& cfg, Rng& rng);
+
+// ---- Step 3: aggregation ----------------------------------------------------
+
+// Mean over the selected gradients with per-gradient norm clipping:
+//   (1/|S|) * sum_{i in S} g_i * min(1, bound/||g_i||)       (Algorithm 2,
+// line 14). With clip == false it degrades to the plain subset mean.
+std::vector<float> clipped_mean(std::span<const std::vector<float>> grads,
+                                std::span<const std::size_t> selected,
+                                double bound, bool clip = true);
+
+// Sorted intersection of two index sets (each unsorted, duplicate-free).
+std::vector<std::size_t> intersect_indices(std::span<const std::size_t> a,
+                                           std::span<const std::size_t> b);
+
+}  // namespace signguard::core

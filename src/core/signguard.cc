@@ -1,0 +1,102 @@
+#include "core/signguard.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace signguard::core {
+
+SignGuard::SignGuard(SignGuardConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+std::string SignGuard::name() const {
+  switch (cfg_.cluster.similarity) {
+    case SimilarityFeature::kCosine:
+      return "SignGuard-Sim";
+    case SimilarityFeature::kDistance:
+      return "SignGuard-Dist";
+    case SimilarityFeature::kNone:
+      break;
+  }
+  return "SignGuard";
+}
+
+std::vector<float> SignGuard::aggregate(
+    std::span<const std::vector<float>> grads, const agg::GarContext&) {
+  assert(!grads.empty());
+  const std::size_t n = grads.size();
+
+  // Step 1: norm-based thresholding (also computes the clipping bound M).
+  last_norm_ = norm_filter(grads, cfg_.norm);
+
+  // Even when the norm filter is ablated away, non-finite gradients are
+  // screened: Byzantine clients can send NaN/Inf payloads and no
+  // downstream statistic is defined on them.
+  std::vector<std::size_t> all;
+  all.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::isfinite(last_norm_.norms[i])) all.push_back(i);
+  if (all.empty()) {
+    // No trustworthy gradient this round; emit a zero update.
+    selected_.clear();
+    last_cluster_ = SignClusterResult{};
+    prev_aggregate_.assign(grads.front().size(), 0.0f);
+    return prev_aggregate_;
+  }
+
+  const std::vector<std::size_t>& s1 =
+      cfg_.enable_norm_filter ? last_norm_.accepted : all;
+
+  // Step 2: sign-based clustering.
+  std::vector<std::size_t> s2 = all;
+  if (cfg_.enable_sign_cluster) {
+    last_cluster_ = sign_cluster_filter(grads, prev_aggregate_,
+                                        last_norm_.median_norm, cfg_.cluster,
+                                        rng_);
+    s2 = last_cluster_.accepted;
+  } else {
+    last_cluster_ = SignClusterResult{};
+  }
+
+  // Step 3: trusted set = S1 ∩ S2, then norm-clipped mean aggregation.
+  selected_ = intersect_indices(s1, s2);
+  // The intersection can come up empty (e.g. the largest sign-cluster was
+  // entirely norm-rejected). Fall back to the less aggressive single
+  // filter rather than emitting nothing — an empty update would stall
+  // training without any robustness benefit.
+  if (selected_.empty()) selected_ = !s1.empty() ? s1 : all;
+
+  std::vector<float> agg =
+      clipped_mean(grads, selected_, last_norm_.median_norm,
+                   cfg_.enable_norm_clipping);
+  prev_aggregate_ = agg;
+  return agg;
+}
+
+void SignGuard::reset() {
+  prev_aggregate_.clear();
+  selected_.clear();
+  last_norm_ = NormFilterResult{};
+  last_cluster_ = SignClusterResult{};
+}
+
+SignGuardConfig plain_config(std::uint64_t seed) {
+  SignGuardConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SignGuardConfig sim_config(std::uint64_t seed) {
+  SignGuardConfig cfg;
+  cfg.cluster.similarity = SimilarityFeature::kCosine;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SignGuardConfig dist_config(std::uint64_t seed) {
+  SignGuardConfig cfg;
+  cfg.cluster.similarity = SimilarityFeature::kDistance;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace signguard::core

@@ -1,0 +1,71 @@
+#pragma once
+// SignGuard (paper Algorithm 2): collaborative malicious gradient
+// filtering. Each round the received gradients pass through
+//   (1) norm-based thresholding  -> S1
+//   (2) sign-based clustering    -> S2
+// and the trusted set S' = S1 ∩ S2 is aggregated by a norm-clipped mean
+// with the median gradient norm as clipping bound.
+//
+// Variants (paper §IV-B): the plain SignGuard clusters on sign statistics
+// only; SignGuard-Sim appends a cosine-similarity feature; SignGuard-Dist
+// appends a Euclidean-distance feature. The similarity reference is the
+// previous round's aggregate.
+//
+// Unlike the baselines, SignGuard never reads ctx.assumed_byzantine — it
+// does not need to know the Byzantine fraction.
+
+#include <cstdint>
+#include <memory>
+
+#include "aggregators/aggregator.h"
+#include "core/filters.h"
+
+namespace signguard::core {
+
+struct SignGuardConfig {
+  NormFilterConfig norm;
+  SignClusterConfig cluster;
+  // Ablation toggles (Table III): each component can be disabled.
+  bool enable_norm_filter = true;
+  bool enable_sign_cluster = true;
+  bool enable_norm_clipping = true;
+  std::uint64_t seed = 2022;  // drives coordinate sampling / k-means init
+};
+
+class SignGuard : public agg::Aggregator {
+ public:
+  explicit SignGuard(SignGuardConfig cfg = {});
+
+  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+                               const agg::GarContext& ctx) override;
+
+  std::string name() const override;
+  std::vector<std::size_t> last_selected() const override {
+    return selected_;
+  }
+
+  // Diagnostics from the last aggregate() call.
+  const NormFilterResult& last_norm_filter() const { return last_norm_; }
+  const SignClusterResult& last_sign_cluster() const { return last_cluster_; }
+  const std::vector<float>& previous_aggregate() const {
+    return prev_aggregate_;
+  }
+
+  // Drops cross-round state (the previous-aggregate reference).
+  void reset();
+
+ private:
+  SignGuardConfig cfg_;
+  Rng rng_;
+  std::vector<float> prev_aggregate_;
+  std::vector<std::size_t> selected_;
+  NormFilterResult last_norm_;
+  SignClusterResult last_cluster_;
+};
+
+// Config presets matching the paper's three variants.
+SignGuardConfig plain_config(std::uint64_t seed = 2022);
+SignGuardConfig sim_config(std::uint64_t seed = 2022);
+SignGuardConfig dist_config(std::uint64_t seed = 2022);
+
+}  // namespace signguard::core

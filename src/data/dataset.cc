@@ -1,0 +1,51 @@
+#include "data/dataset.h"
+
+#include <cassert>
+
+namespace signguard::data {
+
+nn::Tensor make_batch(const Dataset& ds,
+                      std::span<const std::size_t> indices) {
+  assert(!indices.empty());
+  std::vector<std::size_t> shape;
+  shape.push_back(indices.size());
+  shape.insert(shape.end(), ds.sample_shape.begin(), ds.sample_shape.end());
+  nn::Tensor batch(shape);
+  const std::size_t dim = ds.feature_dim();
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    assert(indices[b] < ds.size());
+    const auto& sample = ds.x[indices[b]];
+    assert(sample.size() == dim);
+    float* out = batch.data() + b * dim;
+    for (std::size_t i = 0; i < dim; ++i) out[i] = sample[i];
+  }
+  return batch;
+}
+
+std::vector<int> batch_labels(const Dataset& ds,
+                              std::span<const std::size_t> indices,
+                              bool flip_labels) {
+  std::vector<int> labels(indices.size());
+  const int c = static_cast<int>(ds.num_classes);
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const int l = ds.y[indices[b]];
+    labels[b] = flip_labels ? (c - 1 - l) : l;
+  }
+  return labels;
+}
+
+void shuffle_samples(Dataset& ds, Rng& rng) {
+  std::vector<std::size_t> perm(ds.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  std::vector<std::vector<float>> px(ds.size());
+  std::vector<int> py(ds.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    px[i] = std::move(ds.x[perm[i]]);
+    py[i] = ds.y[perm[i]];
+  }
+  ds.x = std::move(px);
+  ds.y = std::move(py);
+}
+
+}  // namespace signguard::data

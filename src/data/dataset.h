@@ -1,0 +1,39 @@
+#pragma once
+// In-memory labelled dataset plus batch assembly. Image samples store
+// flattened pixel tensors; text samples store token ids as floats (the
+// Embedding layer consumes ids in float form). A Dataset is a value type:
+// partitioners hand out index lists, never copies of the data.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace signguard::data {
+
+struct Dataset {
+  std::vector<std::vector<float>> x;       // one flat feature vector per sample
+  std::vector<int> y;                      // labels in [0, num_classes)
+  std::vector<std::size_t> sample_shape;   // e.g. {1,16,16}, {3,16,16}, {16}
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t feature_dim() const { return x.empty() ? 0 : x.front().size(); }
+};
+
+// Stacks the selected samples into a [B, ...sample_shape] tensor.
+nn::Tensor make_batch(const Dataset& ds, std::span<const std::size_t> indices);
+
+// Labels of the selected samples, with optional label flipping
+// l -> C-1-l (the paper's label-flip data poisoning attack, §V-B).
+std::vector<int> batch_labels(const Dataset& ds,
+                              std::span<const std::size_t> indices,
+                              bool flip_labels = false);
+
+// Uniform random permutation of sample order (so sequential shards are
+// not single-class). Generators call this after emitting class blocks.
+void shuffle_samples(Dataset& ds, Rng& rng);
+
+}  // namespace signguard::data

@@ -1,0 +1,69 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace signguard::data {
+
+ClientIndices iid_partition(std::size_t n_samples, std::size_t n_clients,
+                            Rng& rng) {
+  assert(n_clients > 0);
+  std::vector<std::size_t> perm(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  ClientIndices out(n_clients);
+  for (std::size_t i = 0; i < n_samples; ++i)
+    out[i % n_clients].push_back(perm[i]);
+  return out;
+}
+
+ClientIndices noniid_partition(const Dataset& ds, std::size_t n_clients,
+                               double s, Rng& rng) {
+  assert(n_clients > 0);
+  assert(s >= 0.0 && s <= 1.0);
+  const std::size_t n_samples = ds.size();
+  std::vector<std::size_t> perm(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) perm[i] = i;
+  rng.shuffle(perm);
+
+  const std::size_t n_iid = static_cast<std::size_t>(s * double(n_samples));
+  ClientIndices out(n_clients);
+
+  // IID part: spread the first n_iid samples round-robin.
+  for (std::size_t i = 0; i < n_iid; ++i)
+    out[i % n_clients].push_back(perm[i]);
+
+  // Skewed part: sort remaining samples by label, cut into 2n shards and
+  // hand each client two random shards.
+  std::vector<std::size_t> rest(perm.begin() + std::ptrdiff_t(n_iid),
+                                perm.end());
+  std::stable_sort(rest.begin(), rest.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ds.y[a] < ds.y[b];
+                   });
+  const std::size_t n_shards = 2 * n_clients;
+  std::vector<std::size_t> shard_order(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) shard_order[i] = i;
+  rng.shuffle(shard_order);
+
+  const std::size_t shard_size = rest.size() / n_shards;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    for (const std::size_t shard : {shard_order[2 * c], shard_order[2 * c + 1]}) {
+      const std::size_t begin = shard * shard_size;
+      // The final shard also absorbs the remainder.
+      const std::size_t end =
+          (shard == n_shards - 1) ? rest.size() : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) out[c].push_back(rest[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> label_histogram(
+    const Dataset& ds, const std::vector<std::size_t>& idx) {
+  std::vector<std::size_t> hist(ds.num_classes, 0);
+  for (const std::size_t i : idx) ++hist[std::size_t(ds.y[i])];
+  return hist;
+}
+
+}  // namespace signguard::data

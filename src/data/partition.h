@@ -1,0 +1,32 @@
+#pragma once
+// Federated partitioners: assignment of training-sample indices to
+// clients. IID partitioning splits a random permutation evenly; the
+// non-IID partitioner implements the paper's §VI-B scheme exactly: an
+// s-fraction of the data is spread IID, the remaining (1-s)-fraction is
+// sorted by label, cut into 2·n shards, and every client receives two
+// random shards.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace signguard::data {
+
+using ClientIndices = std::vector<std::vector<std::size_t>>;
+
+// Even IID split of [0, ds.size()) into n_clients shards.
+ClientIndices iid_partition(std::size_t n_samples, std::size_t n_clients,
+                            Rng& rng);
+
+// Sort-and-partition non-IID split with IID fraction s in [0, 1].
+// s == 1 reduces to the IID partition; smaller s is more skewed.
+ClientIndices noniid_partition(const Dataset& ds, std::size_t n_clients,
+                               double s, Rng& rng);
+
+// Label distribution of one client's shard: counts per class.
+std::vector<std::size_t> label_histogram(const Dataset& ds,
+                                         const std::vector<std::size_t>& idx);
+
+}  // namespace signguard::data

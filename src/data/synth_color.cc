@@ -1,0 +1,83 @@
+#include "data/synth_color.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace signguard::data {
+
+namespace {
+
+struct ColorArchetype {
+  // Per-channel grating parameters.
+  double freq[3];
+  double phase[3];
+  double angle[3];
+  double bias[3];
+};
+
+ColorArchetype make_color_archetype(Rng& rng) {
+  ColorArchetype a;
+  for (int ch = 0; ch < 3; ++ch) {
+    a.freq[ch] = rng.uniform(0.4, 1.6);
+    a.phase[ch] = rng.uniform(0.0, 6.28318);
+    a.angle[ch] = rng.uniform(0.0, 3.14159);
+    a.bias[ch] = rng.uniform(-0.4, 0.4);
+  }
+  return a;
+}
+
+std::vector<float> sample_from(const ColorArchetype& a, std::size_t hw,
+                               double noise, int max_shift, Rng& rng) {
+  const int dy = rng.randint(-max_shift, max_shift);
+  const int dx = rng.randint(-max_shift, max_shift);
+  std::vector<float> img(3 * hw * hw);
+  for (int ch = 0; ch < 3; ++ch) {
+    const double cs = std::cos(a.angle[ch]);
+    const double sn = std::sin(a.angle[ch]);
+    for (std::size_t y = 0; y < hw; ++y) {
+      for (std::size_t x = 0; x < hw; ++x) {
+        const double u = (double(int(y) + dy) * cs + double(int(x) + dx) * sn);
+        double v = a.bias[ch] + 0.5 * std::sin(a.freq[ch] * u + a.phase[ch]);
+        v += rng.normal(0.0, noise);
+        img[std::size_t(ch) * hw * hw + y * hw + x] =
+            std::clamp(static_cast<float>(v), -2.0f, 2.0f);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TrainTest make_synth_color(const SynthColorConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<ColorArchetype> archetypes;
+  archetypes.reserve(cfg.classes);
+  for (std::size_t c = 0; c < cfg.classes; ++c)
+    archetypes.push_back(make_color_archetype(rng));
+
+  TrainTest out;
+  for (Dataset* ds : {&out.train, &out.test}) {
+    ds->sample_shape = {3, cfg.hw, cfg.hw};
+    ds->num_classes = cfg.classes;
+  }
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    for (std::size_t i = 0; i < cfg.train_per_class; ++i) {
+      out.train.x.push_back(
+          sample_from(archetypes[c], cfg.hw, cfg.noise, cfg.max_shift, rng));
+      out.train.y.push_back(static_cast<int>(c));
+    }
+    for (std::size_t i = 0; i < cfg.test_per_class; ++i) {
+      out.test.x.push_back(
+          sample_from(archetypes[c], cfg.hw, cfg.noise, cfg.max_shift, rng));
+      out.test.y.push_back(static_cast<int>(c));
+    }
+  }
+  shuffle_samples(out.train, rng);
+  shuffle_samples(out.test, rng);
+  return out;
+}
+
+}  // namespace signguard::data

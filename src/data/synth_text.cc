@@ -1,0 +1,63 @@
+#include "data/synth_text.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace signguard::data {
+
+namespace {
+
+std::vector<float> sample_document(std::span<const int> topic_words,
+                                   const SynthTextConfig& cfg, Rng& rng) {
+  std::vector<float> doc(cfg.seq_len);
+  for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+    int token = 0;
+    if (rng.bernoulli(cfg.topic_prob)) {
+      token = topic_words[std::size_t(
+          rng.randint(0, int(topic_words.size()) - 1))];
+    } else {
+      token = rng.randint(0, int(cfg.vocab) - 1);
+    }
+    doc[t] = static_cast<float>(token);
+  }
+  return doc;
+}
+
+}  // namespace
+
+TrainTest make_synth_text(const SynthTextConfig& cfg) {
+  assert(cfg.topic_words_per_class * cfg.classes <= cfg.vocab);
+  Rng rng(cfg.seed);
+
+  // Disjoint topic vocabularies drawn from a shuffled token universe.
+  std::vector<int> universe(cfg.vocab);
+  for (std::size_t i = 0; i < cfg.vocab; ++i) universe[i] = int(i);
+  rng.shuffle(universe);
+  std::vector<std::vector<int>> topics(cfg.classes);
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < cfg.classes; ++c)
+    for (std::size_t w = 0; w < cfg.topic_words_per_class; ++w)
+      topics[c].push_back(universe[next++]);
+
+  TrainTest out;
+  for (Dataset* ds : {&out.train, &out.test}) {
+    ds->sample_shape = {cfg.seq_len};
+    ds->num_classes = cfg.classes;
+  }
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    for (std::size_t i = 0; i < cfg.train_per_class; ++i) {
+      out.train.x.push_back(sample_document(topics[c], cfg, rng));
+      out.train.y.push_back(static_cast<int>(c));
+    }
+    for (std::size_t i = 0; i < cfg.test_per_class; ++i) {
+      out.test.x.push_back(sample_document(topics[c], cfg, rng));
+      out.test.y.push_back(static_cast<int>(c));
+    }
+  }
+  shuffle_samples(out.train, rng);
+  shuffle_samples(out.test, rng);
+  return out;
+}
+
+}  // namespace signguard::data

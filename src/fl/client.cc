@@ -1,0 +1,59 @@
+#include "fl/client.h"
+
+#include <cassert>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace signguard::fl {
+
+Client::Client(const data::Dataset* dataset, std::vector<std::size_t> shard,
+               std::uint64_t seed)
+    : dataset_(dataset), shard_(std::move(shard)), rng_(seed) {
+  assert(dataset_ != nullptr);
+  assert(!shard_.empty());
+}
+
+std::vector<float> Client::compute_gradient(nn::Model& model,
+                                            std::size_t batch_size,
+                                            double weight_decay,
+                                            bool flip_labels,
+                                            double client_momentum) {
+  const std::size_t bs = std::min(batch_size, shard_.size());
+  const auto picks = rng_.sample_without_replacement(shard_.size(), bs);
+  std::vector<std::size_t> indices(bs);
+  for (std::size_t i = 0; i < bs; ++i) indices[i] = shard_[picks[i]];
+
+  const nn::Tensor batch = data::make_batch(*dataset_, indices);
+  const std::vector<int> labels =
+      data::batch_labels(*dataset_, indices, flip_labels);
+
+  model.zero_gradients();
+  const nn::Tensor logits = model.forward(batch);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  model.backward(loss.dlogits);
+
+  loss_sum_ += loss.loss;
+  ++loss_count_;
+
+  std::vector<float> grad = model.gradients();
+  const std::vector<float> params = model.parameters();
+  nn::add_weight_decay(grad, params, weight_decay);
+
+  if (client_momentum > 0.0) {
+    if (momentum_buffer_.size() != grad.size())
+      momentum_buffer_.assign(grad.size(), 0.0f);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      momentum_buffer_[i] = static_cast<float>(
+          client_momentum * momentum_buffer_[i] + double(grad[i]));
+      grad[i] = momentum_buffer_[i];
+    }
+  }
+  return grad;
+}
+
+double Client::average_loss() const {
+  return loss_count_ > 0 ? loss_sum_ / double(loss_count_) : 0.0;
+}
+
+}  // namespace signguard::fl

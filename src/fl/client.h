@@ -1,0 +1,50 @@
+#pragma once
+// A federated client: owns an index shard into the shared training set and
+// computes one mini-batch stochastic gradient per round (the paper's §V-C
+// setting: one local iteration). The trainer loads the current global
+// parameters into a scratch model before asking clients for gradients, so
+// clients only run forward/backward.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace signguard::fl {
+
+class Client {
+ public:
+  Client(const data::Dataset* dataset, std::vector<std::size_t> shard,
+         std::uint64_t seed);
+
+  // Mini-batch gradient at the parameters currently loaded in `model`.
+  // `flip_labels` implements the label-flip data-poisoning attack.
+  // Weight decay is folded into the returned gradient.
+  //
+  // `client_momentum` > 0 enables the history-aided mode (Karimireddy et
+  // al., ICML'21; the paper's refs [31]-[32]): the client keeps a local
+  // buffer v <- beta*v + g across rounds and sends v instead of g, which
+  // damps the round-to-round variance attackers like LIE hide behind.
+  std::vector<float> compute_gradient(nn::Model& model,
+                                      std::size_t batch_size,
+                                      double weight_decay, bool flip_labels,
+                                      double client_momentum = 0.0);
+
+  std::size_t shard_size() const { return shard_.size(); }
+  const std::vector<std::size_t>& shard() const { return shard_; }
+
+  // Running mean of training loss observed by this client (diagnostic).
+  double average_loss() const;
+
+ private:
+  const data::Dataset* dataset_;
+  std::vector<std::size_t> shard_;
+  Rng rng_;
+  std::vector<float> momentum_buffer_;  // only used with client momentum
+  double loss_sum_ = 0.0;
+  std::size_t loss_count_ = 0;
+};
+
+}  // namespace signguard::fl

@@ -1,0 +1,57 @@
+#include "fl/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/loss.h"
+
+namespace signguard::fl {
+
+void SelectionStats::accumulate(std::span<const std::size_t> selected,
+                                std::size_t n_byzantine,
+                                std::size_t n_total) {
+  assert(n_total > 0);
+  const std::size_t n_honest = n_total - n_byzantine;
+  std::size_t sel_honest = 0, sel_byz = 0;
+  for (const std::size_t idx : selected) {
+    if (idx < n_byzantine)
+      ++sel_byz;  // convention: Byzantine clients occupy indices [0, m)
+    else
+      ++sel_honest;
+  }
+  const double h =
+      n_honest > 0 ? double(sel_honest) / double(n_honest) : 0.0;
+  const double b =
+      n_byzantine > 0 ? double(sel_byz) / double(n_byzantine) : 0.0;
+  // Running average.
+  honest_rate = (honest_rate * double(rounds) + h) / double(rounds + 1);
+  malicious_rate = (malicious_rate * double(rounds) + b) / double(rounds + 1);
+  ++rounds;
+}
+
+double attack_impact(double baseline_accuracy, double achieved_accuracy) {
+  return baseline_accuracy - achieved_accuracy;
+}
+
+double evaluate_accuracy(nn::Model& model, const data::Dataset& test,
+                         std::size_t batch_size, std::size_t max_samples) {
+  const std::size_t total = max_samples == 0
+                                ? test.size()
+                                : std::min(max_samples, test.size());
+  assert(total > 0);
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices;
+  for (std::size_t begin = 0; begin < total; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, total);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    const nn::Tensor batch = data::make_batch(test, indices);
+    const std::vector<int> labels = data::batch_labels(test, indices);
+    const nn::Tensor logits = model.forward(batch);
+    const nn::LossResult r = nn::softmax_cross_entropy(logits, labels);
+    correct += r.correct;
+  }
+  return 100.0 * double(correct) / double(total);
+}
+
+}  // namespace signguard::fl

@@ -1,0 +1,49 @@
+#pragma once
+// Training metrics: accuracy evaluation, per-round history, best-accuracy
+// tracking (Table I reports best achieved test accuracy), attack impact
+// (Definition 3), and honest/malicious selection-rate accounting
+// (Table II).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace signguard::fl {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double test_accuracy = 0.0;
+};
+
+// Average fraction of honest / malicious gradients admitted to the trusted
+// set by a selecting aggregation rule, over the rounds where selection
+// information was reported.
+struct SelectionStats {
+  double honest_rate = 0.0;
+  double malicious_rate = 0.0;
+  std::size_t rounds = 0;
+
+  void accumulate(std::span<const std::size_t> selected,
+                  std::size_t n_byzantine, std::size_t n_total);
+};
+
+struct TrainingResult {
+  std::vector<RoundRecord> history;
+  double best_accuracy = 0.0;
+  double final_accuracy = 0.0;
+  SelectionStats selection;
+};
+
+// Definition 3: attack impact = baseline accuracy - achieved accuracy.
+double attack_impact(double baseline_accuracy, double achieved_accuracy);
+
+// Test accuracy (percent) of `model` with its current parameters, over at
+// most `max_samples` test samples (0 = all), evaluated in mini-batches.
+double evaluate_accuracy(nn::Model& model, const data::Dataset& test,
+                         std::size_t batch_size = 256,
+                         std::size_t max_samples = 0);
+
+}  // namespace signguard::fl

@@ -1,0 +1,23 @@
+#include "fl/server.h"
+
+#include <cassert>
+
+namespace signguard::fl {
+
+Server::Server(std::unique_ptr<agg::Aggregator> gar,
+               std::vector<float> init_params, double lr, double momentum)
+    : gar_(std::move(gar)),
+      params_(std::move(init_params)),
+      optimizer_(lr, momentum) {
+  assert(gar_ != nullptr);
+}
+
+const std::vector<float>& Server::step(
+    std::span<const std::vector<float>> grads, const agg::GarContext& ctx) {
+  last_aggregate_ = gar_->aggregate(grads, ctx);
+  assert(last_aggregate_.size() == params_.size());
+  optimizer_.step(params_, last_aggregate_);
+  return last_aggregate_;
+}
+
+}  // namespace signguard::fl

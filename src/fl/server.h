@@ -1,0 +1,38 @@
+#pragma once
+// The parameter server of Algorithm 1: collects the round's gradients,
+// runs the configured gradient aggregation rule, and applies the global
+// update with momentum SGD (momentum is applied server-side; see
+// DESIGN.md substitution #3 for why this is equivalent in the paper's
+// one-local-iteration full-participation setting).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "aggregators/aggregator.h"
+#include "nn/optimizer.h"
+
+namespace signguard::fl {
+
+class Server {
+ public:
+  Server(std::unique_ptr<agg::Aggregator> gar, std::vector<float> init_params,
+         double lr, double momentum);
+
+  // One synchronous round: aggregate + parameter update. Returns the
+  // aggregated (pre-momentum) global gradient.
+  const std::vector<float>& step(std::span<const std::vector<float>> grads,
+                                 const agg::GarContext& ctx);
+
+  std::span<const float> parameters() const { return params_; }
+  agg::Aggregator& gar() { return *gar_; }
+  void set_lr(double lr) { optimizer_.set_lr(lr); }
+
+ private:
+  std::unique_ptr<agg::Aggregator> gar_;
+  std::vector<float> params_;
+  nn::SgdMomentum optimizer_;
+  std::vector<float> last_aggregate_;
+};
+
+}  // namespace signguard::fl

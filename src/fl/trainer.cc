@@ -1,0 +1,132 @@
+#include "fl/trainer.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fl/client.h"
+#include "fl/server.h"
+
+namespace signguard::fl {
+
+Trainer::Trainer(const data::TrainTest& data, ModelFactory model_factory,
+                 TrainerConfig cfg)
+    : data_(data), model_factory_(std::move(model_factory)), cfg_(cfg) {
+  assert(cfg_.n_clients > 0);
+  assert(cfg_.byzantine_frac >= 0.0 && cfg_.byzantine_frac < 0.5);
+  n_byz_ = static_cast<std::size_t>(
+      std::round(cfg_.byzantine_frac * double(cfg_.n_clients)));
+}
+
+TrainingResult Trainer::run(attacks::Attack& attack,
+                            std::unique_ptr<agg::Aggregator> gar,
+                            const RoundObserver& observer) {
+  Rng rng(cfg_.seed);
+  Rng attack_rng = rng.split();
+  Rng gar_rng = rng.split();
+
+  // Partition the training data over the clients.
+  data::ClientIndices shards =
+      cfg_.noniid
+          ? data::noniid_partition(data_.train, cfg_.n_clients, cfg_.noniid_s,
+                                   rng)
+          : data::iid_partition(data_.train.size(), cfg_.n_clients, rng);
+
+  std::vector<Client> clients;
+  clients.reserve(cfg_.n_clients);
+  for (std::size_t i = 0; i < cfg_.n_clients; ++i)
+    clients.emplace_back(&data_.train, std::move(shards[i]),
+                         rng.split().engine()());
+
+  // One scratch model shared by every client (all clients evaluate the
+  // same global parameters each round), plus the server.
+  nn::Model model = model_factory_(cfg_.seed);
+  Server server(std::move(gar), model.parameters(), cfg_.lr, cfg_.momentum);
+
+  const std::size_t n = cfg_.n_clients;
+  const std::size_t m = n_byz_;
+  Rng participation_rng = rng.split();
+
+  TrainingResult result;
+  std::vector<std::vector<float>> benign_grads;
+  std::vector<std::vector<float>> byz_honest;
+
+  for (std::size_t round = 0; round < cfg_.rounds; ++round) {
+    attack.begin_round(round, attack_rng);
+    const bool flip = attack.flips_labels();
+
+    model.set_parameters(server.parameters());
+
+    // Participating clients this round (full set unless partial
+    // participation is configured). Byzantine clients are those among the
+    // sampled set with index < m; their gradients go first so selection
+    // accounting can attribute them.
+    std::vector<std::size_t> byz_sel, benign_sel;
+    if (cfg_.participation >= 1.0) {
+      for (std::size_t i = 0; i < m; ++i) byz_sel.push_back(i);
+      for (std::size_t i = m; i < n; ++i) benign_sel.push_back(i);
+    } else {
+      const std::size_t k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::round(cfg_.participation * double(n))));
+      for (const std::size_t i :
+           participation_rng.sample_without_replacement(n, k)) {
+        (i < m ? byz_sel : benign_sel).push_back(i);
+      }
+      if (benign_sel.empty()) continue;  // no honest gradient this round
+    }
+    const std::size_t n_round = byz_sel.size() + benign_sel.size();
+    const std::size_t m_round = byz_sel.size();
+
+    benign_grads.clear();
+    byz_honest.clear();
+    for (const std::size_t i : benign_sel)
+      benign_grads.push_back(clients[i].compute_gradient(
+          model, cfg_.batch_size, cfg_.weight_decay, /*flip_labels=*/false,
+          cfg_.client_momentum));
+    for (const std::size_t i : byz_sel)
+      byz_honest.push_back(clients[i].compute_gradient(
+          model, cfg_.batch_size, cfg_.weight_decay, flip,
+          cfg_.client_momentum));
+
+    attacks::AttackContext actx;
+    actx.benign_grads = benign_grads;
+    actx.byz_honest_grads = byz_honest;
+    actx.n_total = n_round;
+    actx.n_byzantine = m_round;
+    actx.round = round;
+    actx.rng = &attack_rng;
+    std::vector<std::vector<float>> all_grads = attack.craft(actx);
+    assert(all_grads.size() == m_round);
+    for (auto& g : benign_grads) all_grads.push_back(std::move(g));
+    benign_grads.clear();
+
+    agg::GarContext gctx;
+    gctx.assumed_byzantine = m_round;
+    gctx.round = round;
+    gctx.rng = &gar_rng;
+    server.step(all_grads, gctx);
+
+    // Selection accounting (only meaningful for selecting rules).
+    const auto selected = server.gar().last_selected();
+    if (!selected.empty())
+      result.selection.accumulate(selected, m_round, n_round);
+
+    // Periodic evaluation (always evaluate the final round).
+    RoundObservation obs;
+    obs.round = round;
+    obs.attack_name = attack.name();
+    if ((round + 1) % cfg_.eval_every == 0 || round + 1 == cfg_.rounds) {
+      model.set_parameters(server.parameters());
+      const double acc = evaluate_accuracy(model, data_.test, 256,
+                                           cfg_.eval_max_samples);
+      result.history.push_back({round, acc});
+      result.best_accuracy = std::max(result.best_accuracy, acc);
+      result.final_accuracy = acc;
+      obs.test_accuracy = acc;
+    }
+    if (observer) observer(obs);
+  }
+  return result;
+}
+
+}  // namespace signguard::fl

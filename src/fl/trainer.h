@@ -1,0 +1,77 @@
+#pragma once
+// The synchronous federated training loop of Algorithm 1 with the paper's
+// threat model wired in: Byzantine clients occupy indices [0, m); every
+// round the attacker observes all benign gradients and substitutes the
+// Byzantine ones via the Attack interface; the server aggregates with the
+// configured GAR and updates the global model.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "aggregators/aggregator.h"
+#include "attacks/attack.h"
+#include "data/partition.h"
+#include "data/synth_image.h"  // TrainTest
+#include "fl/metrics.h"
+#include "nn/model.h"
+
+namespace signguard::fl {
+
+struct TrainerConfig {
+  std::size_t n_clients = 50;
+  double byzantine_frac = 0.2;      // m = round(frac * n)
+  std::size_t rounds = 100;
+  std::size_t batch_size = 8;
+  double lr = 0.05;
+  double momentum = 0.9;            // §V-C: momentum 0.9 (server-side)
+  // History-aided alternative (refs [31]-[32]): momentum accumulated in
+  // each client's own buffer before sending. When > 0, the server
+  // momentum should normally be set to 0 to avoid double damping.
+  double client_momentum = 0.0;
+  double weight_decay = 5e-4;       // §V-C: weight decay 0.0005
+  std::size_t eval_every = 10;      // rounds between test evaluations
+  std::size_t eval_max_samples = 1000;  // 0 = full test set
+  bool noniid = false;
+  double noniid_s = 0.5;            // §VI-B skewness parameter
+  // Fraction of clients sampled each round (§IV-A partial participation;
+  // 1.0 = the paper's default synchronous full participation).
+  double participation = 1.0;
+  std::uint64_t seed = 7;
+};
+
+using ModelFactory = std::function<nn::Model(std::uint64_t seed)>;
+
+// Per-round observer hook (round, test accuracy if evaluated this round,
+// attack name active this round) — used by the Fig. 5 curve bench.
+struct RoundObservation {
+  std::size_t round = 0;
+  std::optional<double> test_accuracy;
+  std::string attack_name;
+};
+using RoundObserver = std::function<void(const RoundObservation&)>;
+
+class Trainer {
+ public:
+  Trainer(const data::TrainTest& data, ModelFactory model_factory,
+          TrainerConfig cfg);
+
+  // Runs a full training job from a fresh model. The trainer owns the
+  // clients and server for the duration of the call; `attack` and `gar`
+  // are borrowed (non-owning) so callers can inspect them afterwards.
+  TrainingResult run(attacks::Attack& attack,
+                     std::unique_ptr<agg::Aggregator> gar,
+                     const RoundObserver& observer = nullptr);
+
+  std::size_t n_byzantine() const { return n_byz_; }
+  const TrainerConfig& config() const { return cfg_; }
+
+ private:
+  const data::TrainTest& data_;
+  ModelFactory model_factory_;
+  TrainerConfig cfg_;
+  std::size_t n_byz_;
+};
+
+}  // namespace signguard::fl

@@ -1,0 +1,181 @@
+#include "nn/conv.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace signguard::nn {
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      w_(out_channels * in_channels * kKernel * kKernel),
+      b_(out_channels, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gb_(out_channels, 0.0f) {
+  // He-uniform: fan_in = IC * 3 * 3.
+  const double fan_in = double(in_channels * kKernel * kKernel);
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (auto& v : w_) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  assert(x.ndim() == 4 && x.dim(1) == in_ch_);
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  Tensor y({batch, out_ch_, h, w});
+  const std::ptrdiff_t hh = std::ptrdiff_t(h), ww = std::ptrdiff_t(w);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      float* yp = y.data() + ((b * out_ch_ + oc) * h) * w;
+      for (std::size_t i = 0; i < h * w; ++i) yp[i] = b_[oc];
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xp = x.data() + ((b * in_ch_ + ic) * h) * w;
+        const float* wk = w_.data() + ((oc * in_ch_ + ic) * kKernel) * kKernel;
+        for (std::ptrdiff_t ky = -1; ky <= 1; ++ky) {
+          for (std::ptrdiff_t kx = -1; kx <= 1; ++kx) {
+            const float kv = wk[(ky + 1) * 3 + (kx + 1)];
+            if (kv == 0.0f) continue;
+            const std::ptrdiff_t y0 = std::max<std::ptrdiff_t>(0, -ky);
+            const std::ptrdiff_t y1 = std::min(hh, hh - ky);
+            const std::ptrdiff_t x0 = std::max<std::ptrdiff_t>(0, -kx);
+            const std::ptrdiff_t x1 = std::min(ww, ww - kx);
+            for (std::ptrdiff_t yy = y0; yy < y1; ++yy) {
+              float* yrow = yp + yy * ww;
+              const float* xrow = xp + (yy + ky) * ww + kx;
+              for (std::ptrdiff_t xx = x0; xx < x1; ++xx)
+                yrow[xx] += kv * xrow[xx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  assert(grad_out.dim(1) == out_ch_ && grad_out.dim(2) == h &&
+         grad_out.dim(3) == w);
+  Tensor dx({batch, in_ch_, h, w});
+  const std::ptrdiff_t hh = std::ptrdiff_t(h), ww = std::ptrdiff_t(w);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* gy = grad_out.data() + ((b * out_ch_ + oc) * h) * w;
+      for (std::size_t i = 0; i < h * w; ++i) gb_[oc] += gy[i];
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xp = x.data() + ((b * in_ch_ + ic) * h) * w;
+        float* gxp = dx.data() + ((b * in_ch_ + ic) * h) * w;
+        const float* wk = w_.data() + ((oc * in_ch_ + ic) * kKernel) * kKernel;
+        float* gwk = gw_.data() + ((oc * in_ch_ + ic) * kKernel) * kKernel;
+        for (std::ptrdiff_t ky = -1; ky <= 1; ++ky) {
+          for (std::ptrdiff_t kx = -1; kx <= 1; ++kx) {
+            const float kv = wk[(ky + 1) * 3 + (kx + 1)];
+            double gk = 0.0;
+            const std::ptrdiff_t y0 = std::max<std::ptrdiff_t>(0, -ky);
+            const std::ptrdiff_t y1 = std::min(hh, hh - ky);
+            const std::ptrdiff_t x0 = std::max<std::ptrdiff_t>(0, -kx);
+            const std::ptrdiff_t x1 = std::min(ww, ww - kx);
+            for (std::ptrdiff_t yy = y0; yy < y1; ++yy) {
+              const float* gyrow = gy + yy * ww;
+              const float* xrow = xp + (yy + ky) * ww + kx;
+              float* gxrow = gxp + (yy + ky) * ww + kx;
+              for (std::ptrdiff_t xx = x0; xx < x1; ++xx) {
+                gk += double(gyrow[xx]) * double(xrow[xx]);
+                gxrow[xx] += gyrow[xx] * kv;
+              }
+            }
+            gwk[(ky + 1) * 3 + (kx + 1)] += static_cast<float>(gk);
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamView> Conv2d::params() {
+  return {{w_, gw_}, {b_, gb_}};
+}
+
+// -------------------------------------------------------------- MaxPool2
+
+Tensor MaxPool2::forward(const Tensor& x) {
+  assert(x.ndim() == 4 && x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0);
+  cached_in_shape_ = x.shape();
+  const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2),
+                    w = x.dim(3);
+  const std::size_t oh = h / 2, ow = w / 2;
+  Tensor y({batch, ch, oh, ow});
+  argmax_.assign(y.numel(), 0);
+  for (std::size_t bc = 0; bc < batch * ch; ++bc) {
+    const float* xp = x.data() + bc * h * w;
+    float* yp = y.data() + bc * oh * ow;
+    std::size_t* ap = argmax_.data() + bc * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        std::size_t best = (2 * oy) * w + 2 * ox;
+        float best_v = xp[best];
+        const std::size_t cands[3] = {(2 * oy) * w + 2 * ox + 1,
+                                      (2 * oy + 1) * w + 2 * ox,
+                                      (2 * oy + 1) * w + 2 * ox + 1};
+        for (const std::size_t c : cands) {
+          if (xp[c] > best_v) {
+            best_v = xp[c];
+            best = c;
+          }
+        }
+        yp[oy * ow + ox] = best_v;
+        ap[oy * ow + ox] = bc * h * w + best;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_out) {
+  Tensor dx(cached_in_shape_);
+  assert(grad_out.numel() == argmax_.size());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i)
+    dx[argmax_[i]] += grad_out[i];
+  return dx;
+}
+
+// ----------------------------------------------------- ResidualConvBlock
+
+ResidualConvBlock::ResidualConvBlock(std::size_t channels, Rng& rng)
+    : conv1_(channels, channels, rng), conv2_(channels, channels, rng) {}
+
+Tensor ResidualConvBlock::forward(const Tensor& x) {
+  Tensor h = relu_mid_.forward(conv1_.forward(x));
+  Tensor s = conv2_.forward(h);
+  assert(s.same_shape(x));
+  for (std::size_t i = 0; i < s.numel(); ++i) s[i] += x[i];
+  cached_sum_ = s;
+  Tensor y = s;
+  for (auto& v : y.flat()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+Tensor ResidualConvBlock::backward(const Tensor& grad_out) {
+  // Through the output ReLU.
+  Tensor ds = grad_out;
+  for (std::size_t i = 0; i < ds.numel(); ++i)
+    if (cached_sum_[i] <= 0.0f) ds[i] = 0.0f;
+  // Main branch: conv2 -> mid ReLU -> conv1; skip branch adds ds directly.
+  Tensor dx = conv1_.backward(relu_mid_.backward(conv2_.backward(ds)));
+  for (std::size_t i = 0; i < dx.numel(); ++i) dx[i] += ds[i];
+  return dx;
+}
+
+std::vector<ParamView> ResidualConvBlock::params() {
+  auto p = conv1_.params();
+  auto p2 = conv2_.params();
+  p.insert(p.end(), p2.begin(), p2.end());
+  return p;
+}
+
+}  // namespace signguard::nn

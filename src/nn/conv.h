@@ -1,0 +1,59 @@
+#pragma once
+// Convolutional layers: 3x3 same-padding Conv2d, 2x2 MaxPool, and a
+// two-conv residual block (the "ResNet-18-like" ingredient of the CIFAR
+// stand-in model). Activations are [B, C, H, W] row-major tensors.
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace signguard::nn {
+
+// 2-D convolution, kernel 3x3, stride 1, zero padding 1 (same spatial size).
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "Conv2d"; }
+
+  static constexpr std::size_t kKernel = 3;
+
+ private:
+  std::size_t in_ch_, out_ch_;
+  std::vector<float> w_, b_, gw_, gb_;  // w: [OC, IC, 3, 3]
+  Tensor cached_input_;
+};
+
+// 2x2 max pooling with stride 2. H and W must be even.
+class MaxPool2 : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2"; }
+
+ private:
+  std::vector<std::size_t> cached_in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index of each pooled max
+};
+
+// y = relu(conv2(relu(conv1(x))) + x). Channel count is preserved so the
+// identity shortcut needs no projection.
+class ResidualConvBlock : public Layer {
+ public:
+  ResidualConvBlock(std::size_t channels, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "ResidualConvBlock"; }
+
+ private:
+  Conv2d conv1_, conv2_;
+  ReLU relu_mid_;
+  Tensor cached_sum_;  // pre-activation of the output ReLU
+};
+
+}  // namespace signguard::nn

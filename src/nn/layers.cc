@@ -1,0 +1,190 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace signguard::nn {
+
+void Layer::zero_grad() {
+  for (auto& p : params())
+    for (auto& g : p.grad) g = 0.0f;
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng, double gain)
+    : in_(in),
+      out_(out),
+      w_(in * out),
+      b_(out, 0.0f),
+      gw_(in * out, 0.0f),
+      gb_(out, 0.0f) {
+  const double bound = gain * std::sqrt(6.0 / double(in + out));
+  for (auto& v : w_) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  assert(x.ndim() == 2 && x.dim(1) == in_);
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0);
+  Tensor y({batch, out_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = x.data() + b * in_;
+    float* yb = y.data() + b * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wo = w_.data() + o * in_;
+      double acc = b_[o];
+      for (std::size_t i = 0; i < in_; ++i) acc += double(wo[i]) * double(xb[i]);
+      yb[o] = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_input_.dim(0);
+  assert(grad_out.ndim() == 2 && grad_out.dim(0) == batch &&
+         grad_out.dim(1) == out_);
+  Tensor dx({batch, in_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = cached_input_.data() + b * in_;
+    const float* gy = grad_out.data() + b * out_;
+    float* gx = dx.data() + b * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gy[o];
+      if (g == 0.0f) continue;
+      gb_[o] += g;
+      float* gwo = gw_.data() + o * in_;
+      const float* wo = w_.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        gwo[i] += g * xb[i];
+        gx[i] += g * wo[i];
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamView> Linear::params() {
+  return {{w_, gw_}, {b_, gb_}};
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (auto& v : y.flat()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  assert(grad_out.numel() == cached_input_.numel());
+  Tensor dx = grad_out;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    if (cached_input_[i] <= 0.0f) dx[i] = 0.0f;
+  return dx;
+}
+
+// ------------------------------------------------------------------ Tanh
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor y = x;
+  for (auto& v : y.flat()) v = std::tanh(v);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  assert(grad_out.numel() == cached_output_.numel());
+  Tensor dx = grad_out;
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    const float t = cached_output_[i];
+    dx[i] *= (1.0f - t * t);
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  const std::size_t batch = x.dim(0);
+  return x.reshaped({batch, x.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_shape_);
+}
+
+// ------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, Rng& rng)
+    : vocab_(vocab), dim_(dim), w_(vocab * dim), gw_(vocab * dim, 0.0f) {
+  for (auto& v : w_) v = static_cast<float>(rng.normal(0.0, 0.1));
+}
+
+Tensor Embedding::forward(const Tensor& ids) {
+  assert(ids.ndim() == 2);
+  cached_batch_ = ids.dim(0);
+  cached_time_ = ids.dim(1);
+  cached_ids_.resize(ids.numel());
+  Tensor y({cached_batch_, cached_time_, dim_});
+  for (std::size_t i = 0; i < ids.numel(); ++i) {
+    const int id = static_cast<int>(ids[i]);
+    assert(id >= 0 && std::size_t(id) < vocab_);
+    cached_ids_[i] = id;
+    const float* row = w_.data() + std::size_t(id) * dim_;
+    float* out = y.data() + i * dim_;
+    for (std::size_t e = 0; e < dim_; ++e) out[e] = row[e];
+  }
+  return y;
+}
+
+Tensor Embedding::backward(const Tensor& grad_out) {
+  assert(grad_out.numel() == cached_ids_.size() * dim_);
+  for (std::size_t i = 0; i < cached_ids_.size(); ++i) {
+    float* grow = gw_.data() + std::size_t(cached_ids_[i]) * dim_;
+    const float* g = grad_out.data() + i * dim_;
+    for (std::size_t e = 0; e < dim_; ++e) grow[e] += g[e];
+  }
+  // Token ids are discrete inputs; there is no gradient to propagate.
+  return Tensor({cached_batch_, cached_time_});
+}
+
+std::vector<ParamView> Embedding::params() { return {{w_, gw_}}; }
+
+// ---------------------------------------------------------- MeanPoolTime
+
+Tensor MeanPoolTime::forward(const Tensor& x) {
+  assert(x.ndim() == 3);
+  const std::size_t batch = x.dim(0), time = x.dim(1), dim = x.dim(2);
+  cached_time_ = time;
+  Tensor y({batch, dim});
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* yb = y.data() + b * dim;
+    for (std::size_t t = 0; t < time; ++t) {
+      const float* xt = x.data() + (b * time + t) * dim;
+      for (std::size_t e = 0; e < dim; ++e) yb[e] += xt[e];
+    }
+    for (std::size_t e = 0; e < dim; ++e) yb[e] /= float(time);
+  }
+  return y;
+}
+
+Tensor MeanPoolTime::backward(const Tensor& grad_out) {
+  assert(grad_out.ndim() == 2);
+  const std::size_t batch = grad_out.dim(0), dim = grad_out.dim(1);
+  Tensor dx({batch, cached_time_, dim});
+  const float inv = 1.0f / float(cached_time_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* gy = grad_out.data() + b * dim;
+    for (std::size_t t = 0; t < cached_time_; ++t) {
+      float* gx = dx.data() + (b * cached_time_ + t) * dim;
+      for (std::size_t e = 0; e < dim; ++e) gx[e] = gy[e] * inv;
+    }
+  }
+  return dx;
+}
+
+}  // namespace signguard::nn

@@ -1,0 +1,123 @@
+#pragma once
+// Layer interface plus the dense / elementwise / embedding layers. The
+// convolutional layers live in conv.h, the recurrent layer in rnn.h.
+//
+// Contract: forward() caches whatever backward() needs; backward() receives
+// dL/d(output), accumulates parameter gradients in place, and returns
+// dL/d(input). Parameter gradients accumulate across backward() calls until
+// zero_grad(); the Model gathers them into one flat buffer for the FL layer.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace signguard::nn {
+
+// A (value, gradient) view pair over one parameter blob of a layer.
+struct ParamView {
+  std::span<float> value;
+  std::span<float> grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  // Views over every learnable blob (empty for stateless layers).
+  virtual std::vector<ParamView> params() { return {}; }
+  virtual void zero_grad();
+
+  virtual std::string name() const = 0;
+};
+
+// Fully connected: y = W x + b, W is [out x in] row-major, x is [B, in].
+class Linear : public Layer {
+ public:
+  // `gain` scales the Xavier-uniform initialization bound (use
+  // sqrt(2) ~ He for ReLU stacks, 1 for linear/tanh heads).
+  Linear(std::size_t in, std::size_t out, Rng& rng, double gain = 1.0);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "Linear"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  std::vector<float> w_, b_, gw_, gb_;
+  Tensor cached_input_;
+};
+
+// Elementwise max(0, x).
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+// Elementwise tanh(x).
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+// [B, ...] -> [B, prod(...)]. Pure reshape.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+// Token embedding: input [B, T] of ids stored as floats, output [B, T, E].
+// Ids must be integers in [0, vocab).
+class Embedding : public Layer {
+ public:
+  Embedding(std::size_t vocab, std::size_t dim, Rng& rng);
+
+  Tensor forward(const Tensor& ids) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "Embedding"; }
+
+ private:
+  std::size_t vocab_, dim_;
+  std::vector<float> w_, gw_;
+  std::vector<int> cached_ids_;
+  std::size_t cached_batch_ = 0, cached_time_ = 0;
+};
+
+// Mean over the time axis: [B, T, E] -> [B, E].
+class MeanPoolTime : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MeanPoolTime"; }
+
+ private:
+  std::size_t cached_time_ = 0;
+};
+
+}  // namespace signguard::nn

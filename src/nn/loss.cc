@@ -1,0 +1,45 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace signguard::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  assert(logits.ndim() == 2 && logits.dim(0) == labels.size());
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  LossResult r;
+  r.dlogits = Tensor({batch, classes});
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* z = logits.data() + b * classes;
+    float* g = r.dlogits.data() + b * classes;
+    float zmax = z[0];
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (z[c] > zmax) {
+        zmax = z[c];
+        argmax = c;
+      }
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c)
+      denom += std::exp(double(z[c]) - double(zmax));
+    const int y = labels[b];
+    assert(y >= 0 && std::size_t(y) < classes);
+    const double log_p =
+        double(z[std::size_t(y)]) - double(zmax) - std::log(denom);
+    total -= log_p;
+    if (argmax == std::size_t(y)) ++r.correct;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p = std::exp(double(z[c]) - double(zmax)) / denom;
+      g[c] = static_cast<float>(
+          (p - (c == std::size_t(y) ? 1.0 : 0.0)) / double(batch));
+    }
+  }
+  r.loss = total / double(batch);
+  return r;
+}
+
+}  // namespace signguard::nn

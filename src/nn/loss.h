@@ -1,0 +1,21 @@
+#pragma once
+// Softmax cross-entropy loss over a logits batch, returning both the
+// scalar loss and the gradient w.r.t. the logits (ready for backward()).
+
+#include <span>
+
+#include "nn/tensor.h"
+
+namespace signguard::nn {
+
+struct LossResult {
+  double loss = 0.0;          // mean over the batch
+  Tensor dlogits;             // [B, C], already divided by batch size
+  std::size_t correct = 0;    // argmax == label count, for accuracy
+};
+
+// logits: [B, C]; labels: B ints in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+}  // namespace signguard::nn

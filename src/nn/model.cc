@@ -1,0 +1,66 @@
+#include "nn/model.h"
+
+#include <cassert>
+
+namespace signguard::nn {
+
+Model& Model::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Model::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h);
+  return h;
+}
+
+void Model::backward(const Tensor& dlogits) {
+  Tensor g = dlogits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+}
+
+std::size_t Model::parameter_count() {
+  std::size_t n = 0;
+  for (auto& l : layers_)
+    for (const auto& p : l->params()) n += p.value.size();
+  return n;
+}
+
+std::vector<float> Model::parameters() {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (auto& l : layers_)
+    for (const auto& p : l->params())
+      flat.insert(flat.end(), p.value.begin(), p.value.end());
+  return flat;
+}
+
+std::vector<float> Model::gradients() {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (auto& l : layers_)
+    for (const auto& p : l->params())
+      flat.insert(flat.end(), p.grad.begin(), p.grad.end());
+  return flat;
+}
+
+void Model::set_parameters(std::span<const float> flat) {
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (auto& p : l->params()) {
+      assert(off + p.value.size() <= flat.size());
+      for (std::size_t i = 0; i < p.value.size(); ++i)
+        p.value[i] = flat[off + i];
+      off += p.value.size();
+    }
+  }
+  assert(off == flat.size());
+}
+
+void Model::zero_gradients() {
+  for (auto& l : layers_) l->zero_grad();
+}
+
+}  // namespace signguard::nn

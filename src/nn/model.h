@@ -1,0 +1,46 @@
+#pragma once
+// A Model is an ordered stack of layers plus flat-buffer parameter I/O.
+// The federated-learning layer treats a model as an opaque vector of
+// parameters: it reads the flattened gradient after backward() and writes
+// flattened parameters before the next round.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace signguard::nn {
+
+class Model {
+ public:
+  Model() = default;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  // Appends a layer; returns *this for fluent building.
+  Model& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x);
+
+  // Propagates dL/d(logits) through the stack, accumulating param grads.
+  void backward(const Tensor& dlogits);
+
+  // Non-const because they traverse Layer::params() views.
+  std::size_t parameter_count();
+
+  // Flat copies across every layer, in layer order then blob order.
+  std::vector<float> parameters();
+  std::vector<float> gradients();
+
+  void set_parameters(std::span<const float> flat);
+  void zero_gradients();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace signguard::nn

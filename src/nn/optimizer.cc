@@ -1,0 +1,26 @@
+#include "nn/optimizer.h"
+
+#include <cassert>
+
+namespace signguard::nn {
+
+void SgdMomentum::step(std::span<float> params, std::span<const float> grad) {
+  assert(params.size() == grad.size());
+  if (velocity_.size() != grad.size()) velocity_.assign(grad.size(), 0.0f);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] =
+        static_cast<float>(momentum_ * velocity_[i] + double(grad[i]));
+    params[i] = static_cast<float>(double(params[i]) - lr_ * velocity_[i]);
+  }
+}
+
+void add_weight_decay(std::span<float> grad, std::span<const float> params,
+                      double weight_decay) {
+  assert(grad.size() == params.size());
+  if (weight_decay == 0.0) return;
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    grad[i] =
+        static_cast<float>(double(grad[i]) + weight_decay * double(params[i]));
+}
+
+}  // namespace signguard::nn

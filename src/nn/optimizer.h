@@ -1,0 +1,36 @@
+#pragma once
+// SGD with momentum over flat parameter buffers, plus the weight-decay
+// helper clients apply when forming their gradient message.
+//
+// Placement note (documented in DESIGN.md): with one local iteration and
+// full participation (the paper's §V-C setting), client-side momentum
+// buffers evolve identically on every client, so the library applies
+// momentum once at the server.
+
+#include <span>
+#include <vector>
+
+namespace signguard::nn {
+
+class SgdMomentum {
+ public:
+  SgdMomentum(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+  // params <- params - lr * v, where v <- momentum * v + grad.
+  void step(std::span<float> params, std::span<const float> grad);
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+  void reset() { velocity_.clear(); }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<float> velocity_;
+};
+
+// grad += weight_decay * params (L2 regularization contribution).
+void add_weight_decay(std::span<float> grad, std::span<const float> params,
+                      double weight_decay);
+
+}  // namespace signguard::nn

@@ -1,0 +1,122 @@
+#include "nn/rnn.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace signguard::nn {
+
+RnnTanh::RnnTanh(std::size_t input_dim, std::size_t hidden_dim, Rng& rng,
+                 RnnOutput output_mode)
+    : in_(input_dim),
+      hid_(hidden_dim),
+      output_mode_(output_mode),
+      wxh_(hidden_dim * input_dim),
+      whh_(hidden_dim * hidden_dim),
+      bh_(hidden_dim, 0.0f),
+      gwxh_(wxh_.size(), 0.0f),
+      gwhh_(whh_.size(), 0.0f),
+      gbh_(hidden_dim, 0.0f) {
+  const double bx = std::sqrt(6.0 / double(input_dim + hidden_dim));
+  for (auto& v : wxh_) v = static_cast<float>(rng.uniform(-bx, bx));
+  // Orthogonal-ish small init for the recurrent matrix keeps BPTT stable.
+  const double bh = std::sqrt(3.0 / double(hidden_dim));
+  for (auto& v : whh_) v = static_cast<float>(rng.uniform(-bh, bh));
+}
+
+Tensor RnnTanh::forward(const Tensor& x) {
+  assert(x.ndim() == 3 && x.dim(2) == in_);
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0), time = x.dim(1);
+  hidden_states_ = Tensor({batch, time, hid_});
+  Tensor out({batch, hid_});
+  std::vector<float> h_prev(hid_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (auto& v : h_prev) v = 0.0f;
+    for (std::size_t t = 0; t < time; ++t) {
+      const float* xt = x.data() + (b * time + t) * in_;
+      float* ht = hidden_states_.data() + (b * time + t) * hid_;
+      for (std::size_t k = 0; k < hid_; ++k) {
+        double acc = bh_[k];
+        const float* wx = wxh_.data() + k * in_;
+        for (std::size_t e = 0; e < in_; ++e) acc += double(wx[e]) * xt[e];
+        const float* wh = whh_.data() + k * hid_;
+        for (std::size_t j = 0; j < hid_; ++j) acc += double(wh[j]) * h_prev[j];
+        ht[k] = static_cast<float>(std::tanh(acc));
+      }
+      for (std::size_t k = 0; k < hid_; ++k) h_prev[k] = ht[k];
+    }
+    float* ob = out.data() + b * hid_;
+    if (output_mode_ == RnnOutput::kLastHidden) {
+      const float* h_last =
+          hidden_states_.data() + (b * time + time - 1) * hid_;
+      for (std::size_t k = 0; k < hid_; ++k) ob[k] = h_last[k];
+    } else {
+      for (std::size_t t = 0; t < time; ++t) {
+        const float* ht = hidden_states_.data() + (b * time + t) * hid_;
+        for (std::size_t k = 0; k < hid_; ++k) ob[k] += ht[k];
+      }
+      for (std::size_t k = 0; k < hid_; ++k) ob[k] /= float(time);
+    }
+  }
+  return out;
+}
+
+Tensor RnnTanh::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_input_.dim(0),
+                    time = cached_input_.dim(1);
+  assert(grad_out.ndim() == 2 && grad_out.dim(1) == hid_);
+  Tensor dx({batch, time, in_});
+  std::vector<float> dh(hid_), dpre(hid_);
+  // Under mean pooling every step receives gy/T directly, in addition to
+  // the recurrent gradient flowing back from later steps.
+  const float pool_w = output_mode_ == RnnOutput::kMeanPool
+                           ? 1.0f / float(time)
+                           : 0.0f;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* gy = grad_out.data() + b * hid_;
+    if (output_mode_ == RnnOutput::kLastHidden) {
+      for (std::size_t k = 0; k < hid_; ++k) dh[k] = gy[k];
+    } else {
+      for (std::size_t k = 0; k < hid_; ++k) dh[k] = gy[k] * pool_w;
+    }
+    for (std::size_t t = time; t-- > 0;) {
+      const float* ht = hidden_states_.data() + (b * time + t) * hid_;
+      const float* xt = cached_input_.data() + (b * time + t) * in_;
+      float* gxt = dx.data() + (b * time + t) * in_;
+      // dpre = dh * (1 - h^2): gradient at the pre-activation.
+      for (std::size_t k = 0; k < hid_; ++k)
+        dpre[k] = dh[k] * (1.0f - ht[k] * ht[k]);
+      const float* h_prev =
+          t > 0 ? hidden_states_.data() + (b * time + t - 1) * hid_ : nullptr;
+      for (std::size_t k = 0; k < hid_; ++k) {
+        const float g = dpre[k];
+        if (g == 0.0f) continue;
+        gbh_[k] += g;
+        float* gwx = gwxh_.data() + k * in_;
+        for (std::size_t e = 0; e < in_; ++e) {
+          gwx[e] += g * xt[e];
+          gxt[e] += g * wxh_[k * in_ + e];
+        }
+        if (h_prev != nullptr) {
+          float* gwh = gwhh_.data() + k * hid_;
+          for (std::size_t j = 0; j < hid_; ++j) gwh[j] += g * h_prev[j];
+        }
+      }
+      // dh for the previous step: recurrent flow through W_hh plus the
+      // direct mean-pool contribution (zero in last-hidden mode).
+      for (std::size_t j = 0; j < hid_; ++j) {
+        double acc = double(pool_w) * double(gy[j]);
+        for (std::size_t k = 0; k < hid_; ++k)
+          acc += double(dpre[k]) * double(whh_[k * hid_ + j]);
+        dh[j] = static_cast<float>(acc);
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamView> RnnTanh::params() {
+  return {{wxh_, gwxh_}, {whh_, gwhh_}, {bh_, gbh_}};
+}
+
+}  // namespace signguard::nn

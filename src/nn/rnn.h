@@ -1,0 +1,39 @@
+#pragma once
+// Vanilla tanh recurrent layer with full backpropagation through time —
+// the recurrent core of the TextRNN stand-in for the paper's AG-News
+// bi-LSTM classifier.
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace signguard::nn {
+
+// Which hidden states form the layer output.
+enum class RnnOutput {
+  kLastHidden,  // h_T, the classic sequence summary
+  kMeanPool,    // (1/T) sum_t h_t — better signal flow for topic tasks
+};
+
+// h_t = tanh(W_xh x_t + W_hh h_{t-1} + b), h_0 = 0.
+// Input [B, T, E]; output [B, H] per the RnnOutput mode.
+class RnnTanh : public Layer {
+ public:
+  RnnTanh(std::size_t input_dim, std::size_t hidden_dim, Rng& rng,
+          RnnOutput output_mode = RnnOutput::kLastHidden);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "RnnTanh"; }
+
+ private:
+  std::size_t in_, hid_;
+  RnnOutput output_mode_;
+  std::vector<float> wxh_, whh_, bh_;    // [H x E], [H x H], [H]
+  std::vector<float> gwxh_, gwhh_, gbh_;
+  Tensor cached_input_;                  // [B, T, E]
+  Tensor hidden_states_;                 // [B, T, H] (post-tanh)
+};
+
+}  // namespace signguard::nn

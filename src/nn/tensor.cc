@@ -1,0 +1,30 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace signguard::nn {
+
+namespace {
+std::size_t product(const std::vector<std::size_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(product(shape_), 0.0f) {}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  assert(product(new_shape) == numel());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+}  // namespace signguard::nn

@@ -1,0 +1,43 @@
+#pragma once
+// Minimal dense tensor: a shape plus a flat row-major float buffer. The
+// neural-network layers index it manually; no broadcasting or views. This
+// is deliberately small — the library's hot path is the layer loops, and
+// gradients leave the NN world as flat std::vector<float> buffers anyway.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace signguard::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  static Tensor zeros(std::vector<std::size_t> shape);
+
+  std::size_t numel() const { return data_.size(); }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_[i]; }
+  const std::vector<std::size_t>& shape() const { return shape_; }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Same buffer, different shape. Precondition: product(new_shape)==numel().
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace signguard::nn

@@ -1,0 +1,195 @@
+// Data substrate tests: synthetic generator properties (determinism,
+// label balance, learnable structure), batch assembly, label flipping and
+// the IID / sort-and-partition non-IID partitioners.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "data/partition.h"
+#include "data/synth_color.h"
+#include "data/synth_image.h"
+#include "data/synth_text.h"
+
+namespace signguard::data {
+namespace {
+
+TEST(SynthImage, SizesAndLabels) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 30;
+  cfg.test_per_class = 10;
+  const TrainTest tt = make_synth_image(cfg);
+  EXPECT_EQ(tt.train.size(), 300u);
+  EXPECT_EQ(tt.test.size(), 100u);
+  EXPECT_EQ(tt.train.feature_dim(), 16u * 16u);
+  EXPECT_EQ(tt.train.num_classes, 10u);
+  const auto hist = label_histogram(
+      tt.train, [&] {
+        std::vector<std::size_t> all(tt.train.size());
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+      }());
+  for (const auto c : hist) EXPECT_EQ(c, 30u);
+}
+
+TEST(SynthImage, DeterministicForSameSeed) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 5;
+  cfg.test_per_class = 2;
+  const TrainTest a = make_synth_image(cfg);
+  const TrainTest b = make_synth_image(cfg);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  EXPECT_EQ(a.train.y, b.train.y);
+  EXPECT_EQ(a.train.x.front(), b.train.x.front());
+}
+
+TEST(SynthImage, DifferentSeedsDiffer) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 5;
+  cfg.test_per_class = 2;
+  cfg.seed = 1;
+  const TrainTest a = make_synth_image(cfg);
+  cfg.seed = 2;
+  const TrainTest b = make_synth_image(cfg);
+  EXPECT_NE(a.train.x.front(), b.train.x.front());
+}
+
+TEST(SynthImage, SampleOrderIsShuffled) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 50;
+  cfg.test_per_class = 5;
+  const TrainTest tt = make_synth_image(cfg);
+  // If unshuffled the first 50 samples would share one label.
+  std::set<int> first_labels(tt.train.y.begin(), tt.train.y.begin() + 50);
+  EXPECT_GT(first_labels.size(), 1u);
+}
+
+TEST(SynthColor, ShapeAndChannels) {
+  SynthColorConfig cfg;
+  cfg.train_per_class = 10;
+  cfg.test_per_class = 5;
+  const TrainTest tt = make_synth_color(cfg);
+  EXPECT_EQ(tt.train.feature_dim(), 3u * 16u * 16u);
+  EXPECT_EQ(tt.train.sample_shape,
+            (std::vector<std::size_t>{3, 16, 16}));
+}
+
+TEST(SynthText, TokensWithinVocab) {
+  SynthTextConfig cfg;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 5;
+  const TrainTest tt = make_synth_text(cfg);
+  EXPECT_EQ(tt.train.num_classes, 4u);
+  for (const auto& doc : tt.train.x) {
+    EXPECT_EQ(doc.size(), cfg.seq_len);
+    for (const float tok : doc) {
+      EXPECT_GE(tok, 0.0f);
+      EXPECT_LT(tok, float(cfg.vocab));
+      EXPECT_FLOAT_EQ(tok, std::floor(tok));  // integral ids
+    }
+  }
+}
+
+TEST(MakeBatch, StacksSamplesInOrder) {
+  Dataset ds;
+  ds.sample_shape = {2};
+  ds.num_classes = 2;
+  ds.x = {{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  ds.y = {0, 1, 0};
+  const std::vector<std::size_t> idx = {2, 0};
+  const nn::Tensor b = make_batch(ds, idx);
+  EXPECT_EQ(b.shape(), (std::vector<std::size_t>{2, 2}));
+  EXPECT_FLOAT_EQ(b[0], 5.0f);
+  EXPECT_FLOAT_EQ(b[2], 1.0f);
+  const auto labels = batch_labels(ds, idx);
+  EXPECT_EQ(labels, (std::vector<int>{0, 0}));
+}
+
+TEST(BatchLabels, FlipMapsToComplement) {
+  Dataset ds;
+  ds.num_classes = 10;
+  ds.x = {{0.0f}, {0.0f}};
+  ds.y = {0, 7};
+  ds.sample_shape = {1};
+  const std::vector<std::size_t> idx = {0, 1};
+  const auto flipped = batch_labels(ds, idx, /*flip_labels=*/true);
+  EXPECT_EQ(flipped, (std::vector<int>{9, 2}));
+}
+
+TEST(IidPartition, CoversAllSamplesOnce) {
+  Rng rng(5);
+  const auto parts = iid_partition(103, 10, rng);
+  EXPECT_EQ(parts.size(), 10u);
+  std::vector<std::size_t> all;
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+  EXPECT_EQ(all.size(), 103u);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+  // Shard sizes within 1 of each other.
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 10u);
+    EXPECT_LE(p.size(), 11u);
+  }
+}
+
+TEST(NoniidPartition, CoversAllSamples) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 40;
+  cfg.test_per_class = 2;
+  const TrainTest tt = make_synth_image(cfg);
+  Rng rng(6);
+  const auto parts = noniid_partition(tt.train, 8, 0.5, rng);
+  std::vector<std::size_t> all;
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), tt.train.size());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+// Property sweep: lower s must produce more skewed label distributions.
+class NoniidSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoniidSkewTest, SkewIncreasesAsSFalls) {
+  const double s = GetParam();
+  SynthImageConfig cfg;
+  cfg.train_per_class = 100;
+  cfg.test_per_class = 2;
+  const TrainTest tt = make_synth_image(cfg);
+  Rng rng(7);
+  const auto parts = noniid_partition(tt.train, 10, s, rng);
+  // Measure skew as the average fraction held by each client's two most
+  // common labels.
+  double skew = 0.0;
+  for (const auto& p : parts) {
+    auto hist = label_histogram(tt.train, p);
+    std::sort(hist.begin(), hist.end(), std::greater<>());
+    const double total = double(p.size());
+    skew += double(hist[0] + hist[1]) / total;
+  }
+  skew /= double(parts.size());
+  // IID expectation is ~0.2 (2 of 10 classes); full sorting pushes toward 1.
+  const double expected_floor = 0.2 + 0.7 * (1.0 - s) - 0.12;
+  EXPECT_GT(skew, expected_floor);
+  if (s == 1.0) EXPECT_LT(skew, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewLevels, NoniidSkewTest,
+                         ::testing::Values(1.0, 0.8, 0.5, 0.3, 0.0));
+
+TEST(NoniidPartition, SEqualOneMatchesIidBalance) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 50;
+  cfg.test_per_class = 2;
+  const TrainTest tt = make_synth_image(cfg);
+  Rng rng(8);
+  const auto parts = noniid_partition(tt.train, 5, 1.0, rng);
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 99u);
+    EXPECT_LE(p.size(), 101u);
+  }
+}
+
+}  // namespace
+}  // namespace signguard::data
