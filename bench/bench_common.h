@@ -34,8 +34,7 @@ inline bool keep(const std::vector<std::string>& filter,
 
 inline void banner(const char* experiment, fl::Scale scale) {
   std::printf("== %s ==\n", experiment);
-  std::printf("scale=%s (set SIGNGUARD_SCALE=smoke|default|full)\n\n",
-              fl::to_string(scale).c_str());
+  std::printf("%s\n\n", fl::runtime_summary(scale).c_str());
 }
 
 class Stopwatch {

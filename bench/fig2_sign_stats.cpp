@@ -56,7 +56,11 @@ void run_workload(fl::WorkloadKind kind, const char* title,
                         TextTable::fmt(mal.zero, 3),
                         TextTable::fmt(mal.neg, 3)});
       }
-      return {ctx.byz_honest_grads.begin(), ctx.byz_honest_grads.end()};
+      std::vector<std::vector<float>> out;
+      out.reserve(ctx.byz_honest_grads.size());
+      for (const attacks::GradientView g : ctx.byz_honest_grads)
+        out.emplace_back(g.begin(), g.end());
+      return out;
     }
     std::string name() const override { return "Fig2Probe"; }
 

@@ -45,31 +45,31 @@ class AdaptiveScaleAttack final : public attacks::Attack {
 
 // Median-of-means: shuffle-free bucketing of clients, coordinate median
 // across bucket means. A classic robust estimator, here as a user-defined
-// GAR.
+// GAR implementing the flat GradientMatrix entry point.
 class MedianOfMeansAggregator final : public agg::Aggregator {
  public:
   explicit MedianOfMeansAggregator(std::size_t buckets) : buckets_(buckets) {}
 
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using agg::Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const agg::GarContext&) override {
-    const std::size_t n = grads.size();
+    const std::size_t n = grads.rows();
     const std::size_t b = std::min(buckets_, n);
-    const std::size_t d = grads.front().size();
-    std::vector<std::vector<float>> bucket_means;
+    const std::size_t d = grads.cols();
+    common::GradientMatrix bucket_means(b, d);
     for (std::size_t k = 0; k < b; ++k) {
-      std::vector<float> acc(d, 0.0f);
+      const auto acc = bucket_means.row(k);
       std::size_t count = 0;
       for (std::size_t i = k; i < n; i += b) {
-        vec::axpy(1.0, grads[i], acc);
+        vec::axpy(1.0, grads.row(i), acc);
         ++count;
       }
       vec::scale(acc, 1.0 / double(count));
-      bucket_means.push_back(std::move(acc));
     }
     std::vector<float> out(d);
     std::vector<double> column(b);
     for (std::size_t j = 0; j < d; ++j) {
-      for (std::size_t k = 0; k < b; ++k) column[k] = bucket_means[k][j];
+      for (std::size_t k = 0; k < b; ++k) column[k] = bucket_means.at(k, j);
       out[j] = static_cast<float>(stats::median(column));
     }
     return out;

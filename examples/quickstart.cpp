@@ -28,6 +28,7 @@ int main() {
               workload.name.c_str(), workload.config.n_clients,
               100.0 * workload.config.byzantine_frac,
               workload.config.rounds);
+  std::printf("%s\n", fl::runtime_summary(fl::scale_from_env()).c_str());
 
   // 2. The attack: ByzMean steering the mean toward random noise (§III).
   auto make_attack = [] {

@@ -2,9 +2,11 @@
 
 #include <cassert>
 
+#include "aggregators/internal.h"
+
 namespace signguard::agg {
 
-// Shared precondition check for every GAR implementation.
+// Shared precondition checks for the GAR implementations.
 void check_grads(std::span<const std::vector<float>> grads) {
   assert(!grads.empty());
 #ifndef NDEBUG
@@ -12,6 +14,17 @@ void check_grads(std::span<const std::vector<float>> grads) {
 #else
   (void)grads;
 #endif
+}
+
+void check_grads(const common::GradientMatrix& grads) {
+  assert(!grads.empty());
+  (void)grads;
+}
+
+std::vector<float> Aggregator::aggregate(
+    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+  check_grads(grads);
+  return aggregate(common::GradientMatrix::from_vectors(grads), ctx);
 }
 
 }  // namespace signguard::agg

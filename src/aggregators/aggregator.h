@@ -4,6 +4,14 @@
 // the paper's comparison set live in this module; the SignGuard family
 // lives in src/core and implements the same interface.
 //
+// The primary entry point takes a flat common::GradientMatrix (one
+// contiguous n x d buffer, one row per client); every rule implements it
+// and the matrix kernels it uses run on the shared thread pool. The
+// legacy vector-of-vectors overload remains as a thin non-virtual adapter
+// (single copy into a matrix) so older call sites and tests keep working.
+// Derived classes pull it back into scope with `using
+// Aggregator::aggregate;`.
+//
 // Per the paper's experimental note, baseline defenses are "favored" by
 // being told the true Byzantine count (ctx.assumed_byzantine); SignGuard
 // deliberately ignores it.
@@ -13,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/gradient_matrix.h"
 #include "common/rng.h"
 
 namespace signguard::agg {
@@ -27,9 +36,14 @@ class Aggregator {
  public:
   virtual ~Aggregator() = default;
 
+  // Primary entry point. Preconditions: grads non-empty.
+  virtual std::vector<float> aggregate(const common::GradientMatrix& grads,
+                                       const GarContext& ctx) = 0;
+
+  // Legacy adapter: copies the rows into a GradientMatrix and forwards.
   // Preconditions: grads non-empty, all the same dimension.
-  virtual std::vector<float> aggregate(
-      std::span<const std::vector<float>> grads, const GarContext& ctx) = 0;
+  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+                               const GarContext& ctx);
 
   virtual std::string name() const = 0;
 

@@ -1,6 +1,9 @@
 #pragma once
 // The paper's comparison GARs (§VI): Mean, coordinate-wise trimmed mean,
 // coordinate-wise median, geometric median, Multi-Krum, Bulyan and DnC.
+// All operate on the flat GradientMatrix; coordinate-wise rules
+// parallelize over coordinate ranges, distance-based rules over the
+// pairwise block.
 
 #include "aggregators/aggregator.h"
 
@@ -9,7 +12,8 @@ namespace signguard::agg {
 // Plain arithmetic mean — the undefended FedAvg baseline.
 class MeanAggregator : public Aggregator {
  public:
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const GarContext& ctx) override;
   std::string name() const override { return "Mean"; }
 };
@@ -18,7 +22,8 @@ class MeanAggregator : public Aggregator {
 // and m smallest values per coordinate, average the rest.
 class TrimmedMeanAggregator : public Aggregator {
  public:
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const GarContext& ctx) override;
   std::string name() const override { return "TrMean"; }
 };
@@ -26,7 +31,8 @@ class TrimmedMeanAggregator : public Aggregator {
 // Coordinate-wise median (Yin et al., ICML'18).
 class MedianAggregator : public Aggregator {
  public:
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const GarContext& ctx) override;
   std::string name() const override { return "Median"; }
 };
@@ -37,7 +43,8 @@ class GeoMedAggregator : public Aggregator {
   explicit GeoMedAggregator(std::size_t max_iters = 50, double eps = 1e-8)
       : max_iters_(max_iters), eps_(eps) {}
 
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const GarContext& ctx) override;
   std::string name() const override { return "GeoMed"; }
 
@@ -51,7 +58,8 @@ class GeoMedAggregator : public Aggregator {
 // n-m-2 best-scored gradients.
 class MultiKrumAggregator : public Aggregator {
  public:
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const GarContext& ctx) override;
   std::string name() const override { return "Multi-Krum"; }
   std::vector<std::size_t> last_selected() const override {
@@ -67,7 +75,8 @@ class MultiKrumAggregator : public Aggregator {
 // beta = theta - 2m values closest to the coordinate median.
 class BulyanAggregator : public Aggregator {
  public:
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const GarContext& ctx) override;
   std::string name() const override { return "Bulyan"; }
   std::vector<std::size_t> last_selected() const override {
@@ -92,7 +101,8 @@ class DnCAggregator : public Aggregator {
  public:
   explicit DnCAggregator(DnCConfig cfg = {}) : cfg_(cfg) {}
 
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const GarContext& ctx) override;
   std::string name() const override { return "DnC"; }
   std::vector<std::size_t> last_selected() const override {

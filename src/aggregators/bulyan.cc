@@ -6,20 +6,22 @@
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
 #include "common/gradient_stats.h"
+#include "common/parallel.h"
 #include "common/quantiles.h"
 
 namespace signguard::agg {
 
 std::vector<float> BulyanAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+    const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
-  const std::size_t n = grads.size();
-  const std::size_t d = grads.front().size();
+  const std::size_t n = grads.rows();
+  const std::size_t d = grads.cols();
   const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
 
   // Phase 1: iterative Krum. Repeatedly pick the gradient with the lowest
   // Krum score among the remaining set and move it to the selection set,
-  // until theta = n - 2m gradients are selected.
+  // until theta = n - 2m gradients are selected. The pairwise block is
+  // threaded; the selection loop is cheap (distances are precomputed).
   const std::size_t theta = std::max<std::size_t>(1, n - 2 * m);
   const PairwiseDistances pd(grads);
   std::vector<std::size_t> remaining(n);
@@ -53,16 +55,20 @@ std::vector<float> BulyanAggregator::aggregate(
   }
 
   // Phase 2: per coordinate, average the beta = theta - 2m selected values
-  // closest to the coordinate median.
+  // closest to the coordinate median — parallel over coordinate ranges
+  // with a per-chunk column buffer.
   const std::size_t beta =
       std::max<std::size_t>(1, theta > 2 * m ? theta - 2 * m : 1);
   std::vector<float> out(d);
-  std::vector<double> column(selected_.size());
-  for (std::size_t j = 0; j < d; ++j) {
-    for (std::size_t i = 0; i < selected_.size(); ++i)
-      column[i] = double(grads[selected_[i]][j]);
-    out[j] = static_cast<float>(stats::mean_around_median(column, beta));
-  }
+  common::parallel_chunks(
+      d, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> column(selected_.size());
+        for (std::size_t j = begin; j < end; ++j) {
+          for (std::size_t i = 0; i < selected_.size(); ++i)
+            column[i] = double(grads.at(selected_[i], j));
+          out[j] = static_cast<float>(stats::mean_around_median(column, beta));
+        }
+      });
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
 #include "common/gradient_stats.h"
+#include "common/parallel.h"
 #include "common/vecops.h"
 
 namespace signguard::agg {
@@ -14,7 +15,8 @@ namespace {
 
 // Top right-singular direction of the centered row matrix via power
 // iteration on A^T A, where rows are the (subsampled, centered) gradients.
-// Returns the projection of every row onto that direction.
+// Returns the projection of every row onto that direction. The random
+// draws stay on the calling thread; the O(n b) passes fan out.
 std::vector<double> top_direction_projections(
     const std::vector<std::vector<double>>& rows, std::size_t power_iters,
     Rng& rng) {
@@ -27,32 +29,41 @@ std::vector<double> top_direction_projections(
 
   std::vector<double> proj(n), next(d);
   for (std::size_t it = 0; it < power_iters; ++it) {
-    // next = A^T (A v): two passes keep it O(n d) per iteration.
-    for (std::size_t i = 0; i < n; ++i)
+    // next = A^T (A v): two passes keep it O(n d) per iteration. The
+    // second pass is coordinate-parallel (column sums over rows in fixed
+    // order), so the FP result is thread-count-invariant.
+    common::parallel_for(n, [&](std::size_t i) {
       proj[i] =
           std::inner_product(rows[i].begin(), rows[i].end(), v.begin(), 0.0);
-    std::fill(next.begin(), next.end(), 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < d; ++j) next[j] += proj[i] * rows[i][j];
+    });
+    common::parallel_chunks(
+        d, [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t j = begin; j < end; ++j) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < n; ++i) acc += proj[i] * rows[i][j];
+            next[j] = acc;
+          }
+        });
     const double norm = std::sqrt(
         std::inner_product(next.begin(), next.end(), next.begin(), 0.0));
     if (norm < 1e-12) break;
     for (std::size_t j = 0; j < d; ++j) v[j] = next[j] / norm;
   }
-  for (std::size_t i = 0; i < n; ++i)
+  common::parallel_for(n, [&](std::size_t i) {
     proj[i] =
         std::inner_product(rows[i].begin(), rows[i].end(), v.begin(), 0.0);
+  });
   return proj;
 }
 
 }  // namespace
 
 std::vector<float> DnCAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+    const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
   assert(ctx.rng != nullptr);
-  const std::size_t n = grads.size();
-  const std::size_t d = grads.front().size();
+  const std::size_t n = grads.rows();
+  const std::size_t d = grads.cols();
   const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
 
   std::vector<std::size_t> good(n);
@@ -68,18 +79,22 @@ std::vector<float> DnCAggregator::aggregate(
         1, static_cast<std::size_t>(cfg_.subsample_frac * double(d)));
     const auto coords = ctx.rng->sample_without_replacement(d, b);
 
-    // Build centered sub-matrix over the current good set.
+    // Build the centered sub-matrix over the current good set; the
+    // per-row gather is parallel, the column means accumulate in fixed
+    // row order.
     std::vector<std::vector<double>> rows(good.size(),
                                           std::vector<double>(b, 0.0));
+    common::parallel_for(good.size(), [&](std::size_t i) {
+      const auto g = grads.row(good[i]);
+      for (std::size_t j = 0; j < b; ++j) rows[i][j] = double(g[coords[j]]);
+    });
     std::vector<double> mu(b, 0.0);
-    for (std::size_t i = 0; i < good.size(); ++i)
-      for (std::size_t j = 0; j < b; ++j)
-        rows[i][j] = double(grads[good[i]][coords[j]]);
     for (const auto& r : rows)
       for (std::size_t j = 0; j < b; ++j) mu[j] += r[j];
     for (auto& v : mu) v /= double(rows.size());
-    for (auto& r : rows)
-      for (std::size_t j = 0; j < b; ++j) r[j] -= mu[j];
+    common::parallel_for(good.size(), [&](std::size_t i) {
+      for (std::size_t j = 0; j < b; ++j) rows[i][j] -= mu[j];
+    });
 
     const auto proj =
         top_direction_projections(rows, cfg_.power_iters, *ctx.rng);

@@ -1,35 +1,47 @@
+#include <algorithm>
 #include <cmath>
 
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
+#include "common/parallel.h"
 #include "common/vecops.h"
 
 namespace signguard::agg {
 
 std::vector<float> GeoMedAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext&) {
+    const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
-  const std::size_t d = grads.front().size();
+  const std::size_t n = grads.rows();
+  const std::size_t d = grads.cols();
   // Weiszfeld: x <- sum_i(g_i / ||g_i - x||) / sum_i(1 / ||g_i - x||),
-  // starting from the arithmetic mean.
+  // starting from the arithmetic mean. Per iteration, the n distances to
+  // x fan out over rows and the weighted column accumulation over
+  // coordinate ranges. The convergence statistic is reduced sequentially
+  // from per-coordinate deltas so the stopping decision (and thus the
+  // result) is identical for any thread count.
   std::vector<float> x = vec::mean_of(grads);
-  std::vector<double> numer(d);
+  std::vector<double> w(n);
+  std::vector<double> delta2(d);
   for (std::size_t iter = 0; iter < max_iters_; ++iter) {
-    std::fill(numer.begin(), numer.end(), 0.0);
+    common::parallel_for(n, [&](std::size_t i) {
+      w[i] = 1.0 / std::max(vec::dist(grads.row(i), x), eps_);
+    });
     double denom = 0.0;
-    for (const auto& g : grads) {
-      const double dist = std::max(vec::dist(g, x), eps_);
-      const double w = 1.0 / dist;
-      denom += w;
-      for (std::size_t j = 0; j < d; ++j) numer[j] += w * double(g[j]);
-    }
+    for (const double wi : w) denom += wi;
+    common::parallel_chunks(
+        d, [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t j = begin; j < end; ++j) {
+            double numer = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+              numer += w[i] * double(grads.at(i, j));
+            const double nx = numer / denom;
+            const double delta = nx - double(x[j]);
+            delta2[j] = delta * delta;
+            x[j] = static_cast<float>(nx);
+          }
+        });
     double movement = 0.0;
-    for (std::size_t j = 0; j < d; ++j) {
-      const double nx = numer[j] / denom;
-      const double delta = nx - double(x[j]);
-      movement += delta * delta;
-      x[j] = static_cast<float>(nx);
-    }
+    for (const double dv : delta2) movement += dv;
     if (movement < eps_) break;
   }
   return x;

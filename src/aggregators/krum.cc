@@ -5,32 +5,38 @@
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
 #include "common/gradient_stats.h"
+#include "common/parallel.h"
 #include "common/vecops.h"
 
 namespace signguard::agg {
 
 std::vector<float> MultiKrumAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+    const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
-  const std::size_t n = grads.size();
+  const std::size_t n = grads.rows();
   const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
   // Krum's neighborhood size; at least 1 so tiny test fixtures work.
   const std::size_t k =
       std::max<std::size_t>(1, n > m + 2 ? n - m - 2 : 1);
 
+  // The O(n^2 d) pairwise block fans out over pairs; the O(n^2 log n)
+  // score selection fans out over rows.
   const PairwiseDistances pd(grads);
   std::vector<double> scores(n, 0.0);
-  std::vector<double> row(n - 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::size_t r = 0;
-    for (std::size_t j = 0; j < n; ++j)
-      if (j != i) row[r++] = pd.dist2(i, j);
-    const std::size_t kk = std::min(k, row.size());
-    std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(kk),
-                      row.end());
-    scores[i] = std::accumulate(row.begin(), row.begin() + std::ptrdiff_t(kk),
-                                0.0);
-  }
+  common::parallel_chunks(
+      n, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> row;  // one scratch buffer per chunk
+        for (std::size_t i = begin; i < end; ++i) {
+          row.clear();
+          for (std::size_t j = 0; j < n; ++j)
+            if (j != i) row.push_back(pd.dist2(i, j));
+          const std::size_t kk = std::min(k, row.size());
+          std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(kk),
+                            row.end());
+          scores[i] = std::accumulate(
+              row.begin(), row.begin() + std::ptrdiff_t(kk), 0.0);
+        }
+      });
 
   // Select the k best-scored gradients and average them.
   std::vector<std::size_t> order(n);

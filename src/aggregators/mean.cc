@@ -5,7 +5,7 @@
 namespace signguard::agg {
 
 std::vector<float> MeanAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext&) {
+    const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
   return vec::mean_of(grads);
 }

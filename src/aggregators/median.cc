@@ -2,28 +2,35 @@
 
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
+#include "common/parallel.h"
 
 namespace signguard::agg {
 
 std::vector<float> MedianAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext&) {
+    const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
-  const std::size_t n = grads.size();
-  const std::size_t d = grads.front().size();
+  const std::size_t n = grads.rows();
+  const std::size_t d = grads.cols();
   std::vector<float> out(d);
-  std::vector<float> column(n);
   const std::size_t mid = n / 2;
-  for (std::size_t j = 0; j < d; ++j) {
-    for (std::size_t i = 0; i < n; ++i) column[i] = grads[i][j];
-    std::nth_element(column.begin(), column.begin() + mid, column.end());
-    if (n % 2 == 1) {
-      out[j] = column[mid];
-    } else {
-      const float lo =
-          *std::max_element(column.begin(), column.begin() + mid);
-      out[j] = 0.5f * (lo + column[mid]);
-    }
-  }
+  // Coordinate-parallel: each chunk owns a column buffer and a disjoint
+  // coordinate range, so results match the sequential scan exactly.
+  common::parallel_chunks(
+      d, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<float> column(n);
+        for (std::size_t j = begin; j < end; ++j) {
+          for (std::size_t i = 0; i < n; ++i) column[i] = grads.at(i, j);
+          std::nth_element(column.begin(), column.begin() + mid,
+                           column.end());
+          if (n % 2 == 1) {
+            out[j] = column[mid];
+          } else {
+            const float lo =
+                *std::max_element(column.begin(), column.begin() + mid);
+            out[j] = 0.5f * (lo + column[mid]);
+          }
+        }
+      });
   return out;
 }
 

@@ -1,25 +1,29 @@
 #include "aggregators/signsgd.h"
 
 #include "aggregators/internal.h"
+#include "common/parallel.h"
 
 namespace signguard::agg {
 
 std::vector<float> SignSgdMajorityAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext&) {
+    const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
-  const std::size_t n = grads.size();
-  const std::size_t d = grads.front().size();
+  const std::size_t n = grads.rows();
+  const std::size_t d = grads.cols();
   std::vector<float> out(d);
-  for (std::size_t j = 0; j < d; ++j) {
-    // Majority vote over {-1, 0, +1}; ties (vote == 0) emit 0.
-    long vote = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const float v = grads[i][j];
-      vote += v > 0.0f ? 1 : (v < 0.0f ? -1 : 0);
-    }
-    out[j] = static_cast<float>(
-        step_ * (vote > 0 ? 1.0 : (vote < 0 ? -1.0 : 0.0)));
-  }
+  common::parallel_chunks(
+      d, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t j = begin; j < end; ++j) {
+          // Majority vote over {-1, 0, +1}; ties (vote == 0) emit 0.
+          long vote = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const float v = grads.at(i, j);
+            vote += v > 0.0f ? 1 : (v < 0.0f ? -1 : 0);
+          }
+          out[j] = static_cast<float>(
+              step_ * (vote > 0 ? 1.0 : (vote < 0 ? -1.0 : 0.0)));
+        }
+      });
   return out;
 }
 

@@ -2,26 +2,30 @@
 
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
+#include "common/parallel.h"
 
 namespace signguard::agg {
 
 std::vector<float> TrimmedMeanAggregator::aggregate(
-    std::span<const std::vector<float>> grads, const GarContext& ctx) {
+    const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
-  const std::size_t n = grads.size();
-  const std::size_t d = grads.front().size();
+  const std::size_t n = grads.rows();
+  const std::size_t d = grads.cols();
   // Trim m from each side but always keep at least one value.
   const std::size_t trim =
       std::min(ctx.assumed_byzantine, (n - 1) / 2);
   std::vector<float> out(d);
-  std::vector<float> column(n);
-  for (std::size_t j = 0; j < d; ++j) {
-    for (std::size_t i = 0; i < n; ++i) column[i] = grads[i][j];
-    std::sort(column.begin(), column.end());
-    double acc = 0.0;
-    for (std::size_t i = trim; i < n - trim; ++i) acc += column[i];
-    out[j] = static_cast<float>(acc / double(n - 2 * trim));
-  }
+  common::parallel_chunks(
+      d, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<float> column(n);
+        for (std::size_t j = begin; j < end; ++j) {
+          for (std::size_t i = 0; i < n; ++i) column[i] = grads.at(i, j);
+          std::sort(column.begin(), column.end());
+          double acc = 0.0;
+          for (std::size_t i = trim; i < n - trim; ++i) acc += column[i];
+          out[j] = static_cast<float>(acc / double(n - 2 * trim));
+        }
+      });
   return out;
 }
 

@@ -13,6 +13,11 @@
 // behaved (computed on flipped labels when flips_labels() is true); attacks
 // like sign-flip and noise perturb these, while omniscient attacks (LIE,
 // ByzMean, Min-Max/Min-Sum) work from ctx.benign_grads.
+//
+// Gradients arrive as borrowed row views (GradientView), which in the
+// trainer alias rows of the round's flat GradientMatrix — the attacker
+// observes the real buffers, no per-round copies. Legacy
+// vector-of-vectors call sites adapt through make_attack_input().
 
 #include <memory>
 #include <span>
@@ -23,14 +28,39 @@
 
 namespace signguard::attacks {
 
+// A borrowed, read-only client gradient (usually a GradientMatrix row).
+using GradientView = std::span<const float>;
+
 struct AttackContext {
-  std::span<const std::vector<float>> benign_grads;
-  std::span<const std::vector<float>> byz_honest_grads;
+  std::span<const GradientView> benign_grads;
+  std::span<const GradientView> byz_honest_grads;
   std::size_t n_total = 0;      // n  (benign + Byzantine)
   std::size_t n_byzantine = 0;  // m == byz_honest_grads.size()
   std::size_t round = 0;
   Rng* rng = nullptr;
 };
+
+// Owns the view arrays an AttackContext points into; the adapter for
+// legacy vector-of-vectors call sites (tests, examples). The context
+// stays valid for the holder's lifetime: moving is fine (the spans
+// reference heap buffers that moves preserve), but copying is deleted —
+// a copy's ctx would silently alias the source's view arrays.
+struct AttackInput {
+  AttackInput() = default;
+  AttackInput(AttackInput&&) = default;
+  AttackInput& operator=(AttackInput&&) = default;
+  AttackInput(const AttackInput&) = delete;
+  AttackInput& operator=(const AttackInput&) = delete;
+
+  std::vector<GradientView> benign_views;
+  std::vector<GradientView> byz_views;
+  AttackContext ctx;
+};
+
+AttackInput make_attack_input(std::span<const std::vector<float>> benign,
+                              std::span<const std::vector<float>> byz_honest,
+                              std::size_t n_total, std::size_t n_byzantine,
+                              Rng* rng);
 
 class Attack {
  public:

@@ -31,7 +31,7 @@ double LieAttack::z_max(std::size_t n, std::size_t m) {
 }
 
 std::vector<float> LieAttack::craft_vector(
-    std::span<const std::vector<float>> benign_grads, double z) {
+    std::span<const GradientView> benign_grads, double z) {
   assert(!benign_grads.empty());
   const auto moments = vec::coordinate_moments(benign_grads);
   std::vector<float> g(moments.mean.size());
@@ -39,6 +39,13 @@ std::vector<float> LieAttack::craft_vector(
     g[j] = static_cast<float>(double(moments.mean[j]) -
                               z * double(moments.stddev[j]));
   return g;
+}
+
+std::vector<float> LieAttack::craft_vector(
+    std::span<const std::vector<float>> benign_grads, double z) {
+  const std::vector<GradientView> views(benign_grads.begin(),
+                                        benign_grads.end());
+  return craft_vector(std::span<const GradientView>(views), z);
 }
 
 std::vector<std::vector<float>> LieAttack::craft(const AttackContext& ctx) {

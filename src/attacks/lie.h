@@ -20,6 +20,9 @@ class LieAttack : public Attack {
 
   // The malicious vector itself (all m Byzantine clients send a copy).
   // Exposed so ByzMean can embed a LIE vector and Fig. 2 can analyze it.
+  // The view overload is the primary; the vector-of-vectors one adapts.
+  static std::vector<float> craft_vector(
+      std::span<const GradientView> benign_grads, double z);
   static std::vector<float> craft_vector(
       std::span<const std::vector<float>> benign_grads, double z);
 

@@ -7,8 +7,8 @@
 
 namespace signguard::attacks {
 
-std::vector<float> make_perturbation(
-    std::span<const std::vector<float>> benign, Perturbation p) {
+std::vector<float> make_perturbation(std::span<const GradientView> benign,
+                                     Perturbation p) {
   assert(!benign.empty());
   switch (p) {
     case Perturbation::kInverseStd: {
@@ -27,6 +27,12 @@ std::vector<float> make_perturbation(
     }
   }
   return {};
+}
+
+std::vector<float> make_perturbation(
+    std::span<const std::vector<float>> benign, Perturbation p) {
+  const std::vector<GradientView> views(benign.begin(), benign.end());
+  return make_perturbation(std::span<const GradientView>(views), p);
 }
 
 double max_feasible_gamma(const std::function<bool(double)>& feasible,

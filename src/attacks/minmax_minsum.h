@@ -54,7 +54,10 @@ class MinSumAttack : public Attack {
   double last_gamma_ = 0.0;
 };
 
-// Shared helpers (used by both attacks and their tests).
+// Shared helpers (used by both attacks and their tests). The view
+// overload is the primary; the vector-of-vectors one adapts.
+std::vector<float> make_perturbation(std::span<const GradientView> benign,
+                                     Perturbation p);
 std::vector<float> make_perturbation(
     std::span<const std::vector<float>> benign, Perturbation p);
 

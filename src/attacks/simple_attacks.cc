@@ -21,8 +21,8 @@ std::vector<std::vector<float>> NoiseAttack::craft(const AttackContext& ctx) {
   assert(ctx.rng != nullptr);
   std::vector<std::vector<float>> out;
   out.reserve(ctx.n_byzantine);
-  for (const auto& g : ctx.byz_honest_grads) {
-    auto noisy = g;
+  for (const GradientView g : ctx.byz_honest_grads) {
+    std::vector<float> noisy(g.begin(), g.end());
     for (auto& v : noisy)
       v = static_cast<float>(double(v) + ctx.rng->normal(mean_, stddev_));
     out.push_back(std::move(noisy));
@@ -34,7 +34,7 @@ std::vector<std::vector<float>> SignFlipAttack::craft(
     const AttackContext& ctx) {
   std::vector<std::vector<float>> out;
   out.reserve(ctx.n_byzantine);
-  for (const auto& g : ctx.byz_honest_grads)
+  for (const GradientView g : ctx.byz_honest_grads)
     out.push_back(vec::scaled(g, -1.0));
   return out;
 }
@@ -43,14 +43,18 @@ std::vector<std::vector<float>> LabelFlipAttack::craft(
     const AttackContext& ctx) {
   // The poisoning happened during local training (flipped labels); the
   // gradients are forwarded unmodified.
-  return {ctx.byz_honest_grads.begin(), ctx.byz_honest_grads.end()};
+  std::vector<std::vector<float>> out;
+  out.reserve(ctx.byz_honest_grads.size());
+  for (const GradientView g : ctx.byz_honest_grads)
+    out.emplace_back(g.begin(), g.end());
+  return out;
 }
 
 std::vector<std::vector<float>> ReverseScalingAttack::craft(
     const AttackContext& ctx) {
   std::vector<std::vector<float>> out;
   out.reserve(ctx.n_byzantine);
-  for (const auto& g : ctx.byz_honest_grads)
+  for (const GradientView g : ctx.byz_honest_grads)
     out.push_back(vec::scaled(g, -scale_));
   return out;
 }

@@ -13,10 +13,12 @@ struct ClusterResult {
   std::size_t n_clusters = 0;
   std::vector<std::size_t> sizes;   // indexed by cluster id
 
-  // Id of the most populated cluster (lowest id wins ties).
+  // Id of the most populated cluster (lowest id wins ties). Returns -1 on
+  // an empty result (n_clusters == 0) instead of invoking UB.
   int largest_cluster() const;
 
-  // Indices of the points belonging to `cluster_id`.
+  // Indices of the points belonging to `cluster_id`; empty for ids outside
+  // [0, n_clusters), including the -1 sentinel.
   std::vector<std::size_t> members(int cluster_id) const;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/cluster_result.h"
+#include "common/gradient_matrix.h"
 #include "common/rng.h"
 
 namespace signguard::cluster {
@@ -18,7 +19,11 @@ struct KMeansConfig {
 };
 
 // points: n rows of equal dimension. Returns labels over [0, k).
-// If n < k, every point gets its own cluster.
+// If n < k, every point gets its own cluster. The matrix overload is the
+// primary implementation (assignment parallelized over row spans); the
+// vector-of-vectors overload adapts into it.
+ClusterResult kmeans(const common::GradientMatrix& points,
+                     const KMeansConfig& cfg, Rng& rng);
 ClusterResult kmeans(std::span<const std::vector<float>> points,
                      const KMeansConfig& cfg, Rng& rng);
 

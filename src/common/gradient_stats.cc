@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/quantiles.h"
 #include "common/vecops.h"
 
@@ -49,6 +50,16 @@ SignStats sign_statistics(std::span<const float> g,
   return s;
 }
 
+std::vector<SignStats> sign_statistics(const common::GradientMatrix& grads,
+                                       std::span<const std::size_t> coords) {
+  std::vector<SignStats> out(grads.rows());
+  common::parallel_for(grads.rows(), [&](std::size_t i) {
+    out[i] = coords.empty() ? sign_statistics(grads.row(i))
+                            : sign_statistics(grads.row(i), coords);
+  });
+  return out;
+}
+
 std::vector<std::size_t> select_coordinates(std::size_t d, double frac,
                                             Rng& rng) {
   assert(frac > 0.0 && frac <= 1.0);
@@ -69,6 +80,9 @@ PairwiseDistances::PairwiseDistances(
   }
 }
 
+PairwiseDistances::PairwiseDistances(const common::GradientMatrix& grads)
+    : n_(grads.rows()), d2_(vec::pairwise_dist2(grads)) {}
+
 double median_pairwise_cosine(std::span<const std::vector<float>> grads,
                               std::size_t self) {
   assert(grads.size() >= 2);
@@ -79,6 +93,52 @@ double median_pairwise_cosine(std::span<const std::vector<float>> grads,
     sims.push_back(vec::cosine(grads[self], grads[j]));
   }
   return stats::median(sims);
+}
+
+std::vector<double> median_pairwise_cosines(
+    const common::GradientMatrix& grads) {
+  const std::size_t n = grads.rows();
+  std::vector<double> out(n, 0.0);
+  if (n < 2) return out;
+  // One threaded gram block; cos(i, j) = <g_i, g_j> / (||g_i|| ||g_j||)
+  // with the same 0-norm convention as vec::cosine.
+  const auto gram = vec::pairwise_dot(grads);
+  common::parallel_chunks(
+      n, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> sims;  // one scratch buffer per chunk
+        for (std::size_t i = begin; i < end; ++i) {
+          const double ni = std::sqrt(gram[i * n + i]);
+          sims.clear();
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const double nj = std::sqrt(gram[j * n + j]);
+            sims.push_back(ni == 0.0 || nj == 0.0
+                               ? 0.0
+                               : gram[i * n + j] / (ni * nj));
+          }
+          out[i] = stats::median(sims);
+        }
+      });
+  return out;
+}
+
+std::vector<double> median_pairwise_distances(
+    const common::GradientMatrix& grads) {
+  const std::size_t n = grads.rows();
+  std::vector<double> out(n, 0.0);
+  if (n < 2) return out;
+  const auto d2 = vec::pairwise_dist2(grads);
+  common::parallel_chunks(
+      n, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> ds;  // one scratch buffer per chunk
+        for (std::size_t i = begin; i < end; ++i) {
+          ds.clear();
+          for (std::size_t j = 0; j < n; ++j)
+            if (j != i) ds.push_back(std::sqrt(d2[i * n + j]));
+          out[i] = stats::median(ds);
+        }
+      });
+  return out;
 }
 
 }  // namespace signguard

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/gradient_matrix.h"
 #include "common/rng.h"
 
 namespace signguard {
@@ -26,16 +27,24 @@ SignStats sign_statistics(std::span<const float> g);
 SignStats sign_statistics(std::span<const float> g,
                           std::span<const std::size_t> coords);
 
+// Fused per-client pass: sign statistics of every matrix row over the
+// shared coordinate subset, computed in parallel on the thread pool.
+// Empty `coords` means "all coordinates".
+std::vector<SignStats> sign_statistics(const common::GradientMatrix& grads,
+                                       std::span<const std::size_t> coords);
+
 // Randomized coordinate selection for the sign-based filter: chooses
 // ceil(frac * d) distinct coordinates of a d-dimensional gradient.
 std::vector<std::size_t> select_coordinates(std::size_t d, double frac,
                                             Rng& rng);
 
 // Symmetric n x n matrix of squared Euclidean distances between gradients.
-// Stored dense; entry (i, j) at [i * n + j].
+// Stored dense; entry (i, j) at [i * n + j]. The matrix constructor runs
+// the pairwise block on the thread pool.
 class PairwiseDistances {
  public:
   explicit PairwiseDistances(std::span<const std::vector<float>> grads);
+  explicit PairwiseDistances(const common::GradientMatrix& grads);
 
   double dist2(std::size_t i, std::size_t j) const {
     return d2_[i * n_ + j];
@@ -52,5 +61,13 @@ class PairwiseDistances {
 // suggests when no previous aggregate is available.
 double median_pairwise_cosine(std::span<const std::vector<float>> grads,
                               std::size_t self);
+
+// Reference-free similarity proxies for every client at once, derived
+// from one threaded pairwise block instead of n independent scans:
+// median over j != i of cos(g_i, g_j), and of ||g_i - g_j||.
+std::vector<double> median_pairwise_cosines(
+    const common::GradientMatrix& grads);
+std::vector<double> median_pairwise_distances(
+    const common::GradientMatrix& grads);
 
 }  // namespace signguard

@@ -1,0 +1,225 @@
+#include "common/parallel.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace signguard::common {
+
+namespace {
+
+// True while the current thread is executing a pool chunk; nested
+// parallel_chunks calls from inside a kernel run inline instead of
+// deadlocking on the pool.
+thread_local bool t_in_pool = false;
+
+// RAII so t_in_pool is restored even when a kernel throws — otherwise the
+// thread would be permanently stuck on the nested-inline path.
+struct InPoolScope {
+  bool saved = t_in_pool;
+  InPoolScope() { t_in_pool = true; }
+  ~InPoolScope() { t_in_pool = saved; }
+};
+
+std::size_t auto_thread_count() {
+  if (const char* env = std::getenv("SIGNGUARD_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// A lazily started pool of n-1 helper threads; the caller of run() acts
+// as worker 0. Workers idle on a condition variable between jobs, so a
+// round of several kernel launches reuses the same threads. Jobs are
+// launched from one thread at a time (the simulation driver); the pool is
+// not re-entrant across caller threads.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  std::size_t size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return target_size();
+  }
+
+  void set_override(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    override_ = n;
+    resize_locked(lock, target_size());
+  }
+
+  void run(std::size_t total,
+           const std::function<void(std::size_t, std::size_t, std::size_t)>&
+               fn) {
+    if (total == 0) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::size_t n_workers = target_size();
+    resize_locked(lock, n_workers);
+    if (n_workers <= 1 || total == 1) {
+      lock.unlock();
+      run_inline(total, fn);
+      return;
+    }
+    job_fn_ = &fn;
+    job_total_ = total;
+    job_workers_ = n_workers;
+    job_error_ = nullptr;
+    pending_ = workers_.size();
+    ++generation_;
+    lock.unlock();
+    cv_start_.notify_all();
+
+    // Run worker 0's share; even if it throws, the helpers must finish
+    // draining before `fn` (the caller's temporary) can be destroyed.
+    std::exception_ptr error;
+    try {
+      run_chunk(total, n_workers, /*worker=*/0, fn);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    job_fn_ = nullptr;
+    if (!error) error = job_error_;
+    job_error_ = nullptr;
+    if (error) {
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+ private:
+  ThreadPool() = default;
+
+  std::size_t target_size() const {
+    return override_ > 0 ? override_ : auto_thread_count();
+  }
+
+  static void run_chunk(
+      std::size_t total, std::size_t n_workers, std::size_t worker,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    // Contiguous near-even split of [0, total) over n_workers.
+    const std::size_t base = total / n_workers;
+    const std::size_t rem = total % n_workers;
+    const std::size_t begin =
+        worker * base + std::min<std::size_t>(worker, rem);
+    const std::size_t end = begin + base + (worker < rem ? 1 : 0);
+    if (begin >= end) return;
+    InPoolScope scope;
+    fn(begin, end, worker);
+  }
+
+  static void run_inline(
+      std::size_t total,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    InPoolScope scope;
+    fn(0, total, 0);
+  }
+
+  // Brings the helper-thread count to n - 1. `lock` owns mu_ on entry and
+  // on exit; it is released while joining so exiting workers can finish.
+  void resize_locked(std::unique_lock<std::mutex>& lock, std::size_t n) {
+    const std::size_t helpers = n > 0 ? n - 1 : 0;
+    if (workers_.size() == helpers) return;
+    stop_ = true;
+    cv_start_.notify_all();
+    lock.unlock();
+    for (auto& t : workers_) t.join();
+    lock.lock();
+    workers_.clear();
+    stop_ = false;
+    for (std::size_t w = 1; w <= helpers; ++w) {
+      // Hand the worker the current generation so it only reacts to jobs
+      // submitted after its spawn.
+      workers_.emplace_back(
+          [this, w, gen = generation_] { worker_loop(w, gen); });
+    }
+  }
+
+  void worker_loop(std::size_t worker, std::uint64_t seen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const auto* fn = job_fn_;
+      const std::size_t total = job_total_;
+      const std::size_t n_workers = job_workers_;
+      lock.unlock();
+      std::exception_ptr error;
+      if (fn != nullptr && worker < n_workers) {
+        try {
+          run_chunk(total, n_workers, worker, *fn);
+        } catch (...) {
+          // Helper-side exceptions must not reach std::terminate; the
+          // first one is rethrown to the run() caller after the drain.
+          error = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (error && !job_error_) job_error_ = error;
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::vector<std::thread> workers_;
+  std::size_t override_ = 0;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* job_fn_ =
+      nullptr;
+  std::size_t job_total_ = 0;
+  std::size_t job_workers_ = 1;
+  std::exception_ptr job_error_ = nullptr;
+};
+
+}  // namespace
+
+std::size_t thread_count() { return ThreadPool::instance().size(); }
+
+void set_thread_count(std::size_t n) {
+  ThreadPool::instance().set_override(n);
+}
+
+void parallel_chunks(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  if (t_in_pool) {  // nested: run the whole range on this worker
+    fn(0, total, 0);
+    return;
+  }
+  ThreadPool::instance().run(total, fn);
+}
+
+void parallel_for(std::size_t total,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_chunks(total,
+                  [&fn](std::size_t begin, std::size_t end, std::size_t) {
+                    for (std::size_t i = begin; i < end; ++i) fn(i);
+                  });
+}
+
+}  // namespace signguard::common

@@ -1,0 +1,40 @@
+#pragma once
+// Process-wide thread pool behind the matrix kernels and the parallel
+// federated round (the "ParallelFor" helper of the flat-gradient
+// pipeline). Sized by std::thread::hardware_concurrency, overridable via
+// the SIGNGUARD_THREADS environment variable or set_thread_count().
+//
+// Determinism contract: parallel_chunks hands each worker a contiguous
+// index range and every kernel in this codebase writes only to slots of
+// its own range (per row, per coordinate, per pair). Reductions inside a
+// slot run sequentially, so results are bit-identical for any thread
+// count — SIGNGUARD_THREADS=1 and =64 produce the same floats.
+
+#include <cstddef>
+#include <functional>
+
+namespace signguard::common {
+
+// Worker count used by parallel_chunks / parallel_for. Resolution order:
+// set_thread_count() override, then SIGNGUARD_THREADS (clamped to >= 1),
+// then hardware_concurrency. Always >= 1.
+std::size_t thread_count();
+
+// Overrides the pool size (rebuilds the pool). n == 0 restores the
+// automatic choice. Must not be called concurrently with a running
+// parallel_chunks.
+void set_thread_count(std::size_t n);
+
+// Splits [0, total) into one contiguous chunk per worker and runs
+// fn(begin, end, worker) in parallel; worker is in [0, thread_count()).
+// The calling thread participates as worker 0. Blocks until every chunk
+// is done. Nested calls execute inline on the calling worker.
+void parallel_chunks(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+// Convenience wrapper: fn(i) for every i in [0, total), parallelized.
+void parallel_for(std::size_t total,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace signguard::common

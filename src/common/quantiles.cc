@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace signguard::stats {
 
 namespace {
 
 double median_in_place(std::vector<double>& v) {
-  assert(!v.empty());
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
   const std::size_t n = v.size();
   const std::size_t mid = n / 2;
   std::nth_element(v.begin(), v.begin() + mid, v.end());
@@ -33,13 +34,18 @@ double median(std::span<const float> xs) {
 }
 
 double quantile(std::span<const double> xs, double q) {
-  assert(!xs.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
-  const double pos = q * double(v.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
-  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const std::size_t last = v.size() - 1;
+  const double pos = q * double(last);
+  // Clamp both interpolation indices: at q == 1.0, FP round-off can push
+  // ceil(pos) one past the final order statistic.
+  const std::size_t lo =
+      std::min(static_cast<std::size_t>(std::floor(pos)), last);
+  const std::size_t hi =
+      std::min(static_cast<std::size_t>(std::ceil(pos)), last);
   const double frac = pos - double(lo);
   return v[lo] * (1.0 - frac) + v[hi] * frac;
 }

@@ -10,11 +10,15 @@
 namespace signguard::stats {
 
 // Median of a sample (copies, so the input is untouched). For even sizes
-// returns the average of the two middle elements. Precondition: non-empty.
+// returns the average of the two middle elements. Returns quiet NaN on an
+// empty sample (callers that cannot tolerate NaN must check first).
 double median(std::span<const double> xs);
 double median(std::span<const float> xs);
 
-// q-quantile (0 <= q <= 1) by linear interpolation between order statistics.
+// q-quantile by linear interpolation between order statistics. q is
+// clamped to [0, 1]; the interpolation indices are clamped to the sample,
+// so q == 1.0 is safe even when FP round-off pushes ceil(pos) past the
+// last element. Returns quiet NaN on an empty sample.
 double quantile(std::span<const double> xs, double q);
 
 // Mean after removing the `trim` smallest and `trim` largest entries.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace signguard::vec {
 
 double dot(std::span<const float> a, std::span<const float> b) {
@@ -67,11 +69,8 @@ std::vector<float> scaled(std::span<const float> a, double alpha) {
 }
 
 std::vector<float> mean_of(std::span<const std::vector<float>> vs) {
-  assert(!vs.empty());
-  std::vector<float> out(vs.front().size(), 0.0f);
-  for (const auto& v : vs) axpy(1.0, v, out);
-  scale(out, 1.0 / double(vs.size()));
-  return out;
+  const std::vector<std::span<const float>> views(vs.begin(), vs.end());
+  return mean_of(std::span<const std::span<const float>>(views));
 }
 
 std::vector<float> mean_of_subset(std::span<const std::vector<float>> vs,
@@ -84,26 +83,8 @@ std::vector<float> mean_of_subset(std::span<const std::vector<float>> vs,
 }
 
 CoordinateMoments coordinate_moments(std::span<const std::vector<float>> vs) {
-  assert(!vs.empty());
-  const std::size_t d = vs.front().size();
-  const double n = double(vs.size());
-  CoordinateMoments m;
-  m.mean.assign(d, 0.0f);
-  m.stddev.assign(d, 0.0f);
-  std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
-  for (const auto& v : vs) {
-    for (std::size_t j = 0; j < d; ++j) {
-      sum[j] += v[j];
-      sum_sq[j] += double(v[j]) * double(v[j]);
-    }
-  }
-  for (std::size_t j = 0; j < d; ++j) {
-    const double mu = sum[j] / n;
-    const double var = std::max(0.0, sum_sq[j] / n - mu * mu);
-    m.mean[j] = static_cast<float>(mu);
-    m.stddev[j] = static_cast<float>(std::sqrt(var));
-  }
-  return m;
+  const std::vector<std::span<const float>> views(vs.begin(), vs.end());
+  return coordinate_moments(std::span<const std::span<const float>>(views));
 }
 
 void clip_norm(std::span<float> x, double bound) {
@@ -122,4 +103,180 @@ void zero(std::span<float> out) {
   for (auto& v : out) v = 0.0f;
 }
 
+// ---- borrowed-row-set overloads --------------------------------------------
+
+std::vector<float> mean_of(std::span<const std::span<const float>> vs) {
+  assert(!vs.empty());
+  std::vector<float> out(vs.front().size(), 0.0f);
+  for (const auto v : vs) axpy(1.0, v, out);
+  scale(out, 1.0 / double(vs.size()));
+  return out;
+}
+
+CoordinateMoments coordinate_moments(
+    std::span<const std::span<const float>> vs) {
+  assert(!vs.empty());
+  const std::size_t d = vs.front().size();
+  const double n = double(vs.size());
+  CoordinateMoments m;
+  m.mean.assign(d, 0.0f);
+  m.stddev.assign(d, 0.0f);
+  std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
+  for (const auto v : vs) {
+    for (std::size_t j = 0; j < d; ++j) {
+      sum[j] += v[j];
+      sum_sq[j] += double(v[j]) * double(v[j]);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double mu = sum[j] / n;
+    const double var = std::max(0.0, sum_sq[j] / n - mu * mu);
+    m.mean[j] = static_cast<float>(mu);
+    m.stddev[j] = static_cast<float>(std::sqrt(var));
+  }
+  return m;
+}
+
+// ---- matrix kernels (threaded) ---------------------------------------------
+
+std::vector<double> row_norms(const common::GradientMatrix& g) {
+  std::vector<double> out(g.rows(), 0.0);
+  common::parallel_for(g.rows(),
+                       [&](std::size_t i) { out[i] = norm(g.row(i)); });
+  return out;
+}
+
+std::vector<double> row_dots(const common::GradientMatrix& g,
+                             std::span<const float> ref) {
+  assert(ref.size() == g.cols() || g.rows() == 0);
+  std::vector<double> out(g.rows(), 0.0);
+  common::parallel_for(g.rows(),
+                       [&](std::size_t i) { out[i] = dot(g.row(i), ref); });
+  return out;
+}
+
+namespace {
+
+// Parallelizes a symmetric pairwise kernel over the upper-triangle pair
+// list so work stays balanced when n is small and d is huge.
+template <typename Kernel>
+std::vector<double> pairwise_block(const common::GradientMatrix& g,
+                                   Kernel&& kernel, bool self_dot) {
+  const std::size_t n = g.rows();
+  std::vector<double> out(n * n, 0.0);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  common::parallel_for(pairs.size(), [&](std::size_t p) {
+    const auto [i, j] = pairs[p];
+    const double v = kernel(g.row(i), g.row(j));
+    out[i * n + j] = v;
+    out[j * n + i] = v;
+  });
+  if (self_dot)
+    common::parallel_for(
+        n, [&](std::size_t i) { out[i * n + i] = dot(g.row(i), g.row(i)); });
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> pairwise_dist2(const common::GradientMatrix& g) {
+  return pairwise_block(
+      g,
+      [](std::span<const float> a, std::span<const float> b) {
+        return dist2(a, b);
+      },
+      /*self_dot=*/false);
+}
+
+std::vector<double> pairwise_dot(const common::GradientMatrix& g) {
+  return pairwise_block(
+      g,
+      [](std::span<const float> a, std::span<const float> b) {
+        return dot(a, b);
+      },
+      /*self_dot=*/true);
+}
+
+namespace {
+
+// Coordinate-parallel weighted accumulation: each chunk owns a disjoint
+// coordinate range and walks the selected rows in order, so the float
+// rounding sequence per coordinate is fixed for any thread count.
+std::vector<float> accumulate_columns(const common::GradientMatrix& g,
+                                      std::span<const std::size_t> indices,
+                                      std::span<const double> weights,
+                                      double inv_count) {
+  assert(!indices.empty());
+  const std::size_t d = g.cols();
+  std::vector<float> out(d, 0.0f);
+  common::parallel_chunks(
+      d, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> acc(end - begin, 0.0);
+        for (std::size_t k = 0; k < indices.size(); ++k) {
+          const auto row = g.row(indices[k]);
+          const double w = weights.empty() ? 1.0 : weights[k];
+          for (std::size_t j = begin; j < end; ++j)
+            acc[j - begin] += w * double(row[j]);
+        }
+        for (std::size_t j = begin; j < end; ++j)
+          out[j] = static_cast<float>(acc[j - begin] * inv_count);
+      });
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> mean_of(const common::GradientMatrix& g) {
+  assert(!g.empty());
+  std::vector<std::size_t> all(g.rows());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return accumulate_columns(g, all, {}, 1.0 / double(g.rows()));
+}
+
+std::vector<float> mean_of_subset(const common::GradientMatrix& g,
+                                  std::span<const std::size_t> indices) {
+  return accumulate_columns(g, indices, {}, 1.0 / double(indices.size()));
+}
+
+std::vector<float> weighted_mean_of_subset(
+    const common::GradientMatrix& g, std::span<const std::size_t> indices,
+    std::span<const double> weights) {
+  assert(weights.size() == indices.size());
+  return accumulate_columns(g, indices, weights,
+                            1.0 / double(indices.size()));
+}
+
+CoordinateMoments coordinate_moments(const common::GradientMatrix& g) {
+  assert(!g.empty());
+  const std::size_t d = g.cols();
+  const std::size_t n = g.rows();
+  CoordinateMoments m;
+  m.mean.assign(d, 0.0f);
+  m.stddev.assign(d, 0.0f);
+  common::parallel_chunks(
+      d, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> sum(end - begin, 0.0), sum_sq(end - begin, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto row = g.row(i);
+          for (std::size_t j = begin; j < end; ++j) {
+            const double v = double(row[j]);
+            sum[j - begin] += v;
+            sum_sq[j - begin] += v * v;
+          }
+        }
+        for (std::size_t j = begin; j < end; ++j) {
+          const double mu = sum[j - begin] / double(n);
+          const double var =
+              std::max(0.0, sum_sq[j - begin] / double(n) - mu * mu);
+          m.mean[j] = static_cast<float>(mu);
+          m.stddev[j] = static_cast<float>(std::sqrt(var));
+        }
+      });
+  return m;
+}
+
 }  // namespace signguard::vec
+

@@ -2,10 +2,15 @@
 // Dense float-vector primitives shared by the NN library, the attacks and
 // the aggregation rules. Gradients throughout the project are flat
 // std::vector<float> buffers; read-only views are std::span<const float>.
+// A round's worth of gradients is a common::GradientMatrix, and the
+// matrix-level kernels at the bottom of this header run on the shared
+// thread pool (common/parallel.h) with thread-count-invariant results.
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "common/gradient_matrix.h"
 
 namespace signguard::vec {
 
@@ -63,5 +68,44 @@ std::vector<float> sign(std::span<const float> a);
 
 // Fills `out` with zeros; convenience for accumulators.
 void zero(std::span<float> out);
+
+// ---- borrowed-row-set overloads --------------------------------------------
+// Same math as the vector-of-vectors versions, over spans that typically
+// alias GradientMatrix rows (the attack layer's AttackContext shape).
+
+std::vector<float> mean_of(std::span<const std::span<const float>> vs);
+CoordinateMoments coordinate_moments(
+    std::span<const std::span<const float>> vs);
+
+// ---- matrix kernels (threaded) ---------------------------------------------
+// All kernels below parallelize over rows, pairs or coordinate ranges of
+// the flat matrix; each output slot is produced by exactly one chunk with
+// sequential inner accumulation, so results do not depend on the thread
+// count.
+
+// Per-row l2 norms.
+std::vector<double> row_norms(const common::GradientMatrix& g);
+
+// Per-row inner products <g_i, ref>. Precondition: ref.size() == cols.
+std::vector<double> row_dots(const common::GradientMatrix& g,
+                             std::span<const float> ref);
+
+// Dense symmetric n x n blocks, row-major, diagonal zero / self-dot.
+std::vector<double> pairwise_dist2(const common::GradientMatrix& g);
+std::vector<double> pairwise_dot(const common::GradientMatrix& g);
+
+// Arithmetic mean of all rows / of the rows in `indices` (non-empty).
+std::vector<float> mean_of(const common::GradientMatrix& g);
+std::vector<float> mean_of_subset(const common::GradientMatrix& g,
+                                  std::span<const std::size_t> indices);
+
+// sum_k(weights[k] * g.row(indices[k])) / indices.size() — the clipped-
+// mean inner loop. Precondition: weights.size() == indices.size() > 0.
+std::vector<float> weighted_mean_of_subset(
+    const common::GradientMatrix& g, std::span<const std::size_t> indices,
+    std::span<const double> weights);
+
+// Coordinate-wise mean/stddev in one fused pass over the matrix.
+CoordinateMoments coordinate_moments(const common::GradientMatrix& g);
 
 }  // namespace signguard::vec

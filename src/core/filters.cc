@@ -6,16 +6,16 @@
 
 #include "cluster/kmeans.h"
 #include "common/gradient_stats.h"
+#include "common/parallel.h"
 #include "common/quantiles.h"
 #include "common/vecops.h"
 
 namespace signguard::core {
 
-NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
+NormFilterResult norm_filter(const common::GradientMatrix& grads,
                              const NormFilterConfig& cfg) {
   NormFilterResult r;
-  r.norms.reserve(grads.size());
-  for (const auto& g : grads) r.norms.push_back(vec::norm(g));
+  r.norms = vec::row_norms(grads);
   // Byzantine payloads may carry NaN/Inf; they are rejected outright and
   // excluded from the median so they cannot poison the reference norm.
   std::vector<double> finite;
@@ -27,11 +27,11 @@ NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
   // Degenerate case: all-zero gradients; accept the finite ones (nothing
   // to threshold against) and let aggregation return zero.
   if (r.median_norm <= 0.0) {
-    for (std::size_t i = 0; i < grads.size(); ++i)
+    for (std::size_t i = 0; i < grads.rows(); ++i)
       if (std::isfinite(r.norms[i])) r.accepted.push_back(i);
     return r;
   }
-  for (std::size_t i = 0; i < grads.size(); ++i) {
+  for (std::size_t i = 0; i < grads.rows(); ++i) {
     if (!std::isfinite(r.norms[i])) continue;
     const double ratio = r.norms[i] / r.median_norm;
     if (ratio >= cfg.lower && ratio <= cfg.upper) r.accepted.push_back(i);
@@ -39,86 +39,126 @@ NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
   return r;
 }
 
-SignClusterResult sign_cluster_filter(
-    std::span<const std::vector<float>> grads,
-    std::span<const float> reference, double median_norm,
-    const SignClusterConfig& cfg, Rng& rng) {
-  SignClusterResult result;
-  const std::size_t n = grads.size();
-  if (n == 0) return result;
-  const std::size_t d = grads.front().size();
+NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
+                             const NormFilterConfig& cfg) {
+  return norm_filter(common::GradientMatrix::from_vectors(grads), cfg);
+}
 
-  // Randomized coordinate selection, shared by every gradient this round.
+SignClusterResult sign_cluster_filter(const common::GradientMatrix& grads,
+                                      std::span<const float> reference,
+                                      double median_norm,
+                                      const SignClusterConfig& cfg,
+                                      Rng& rng) {
+  SignClusterResult result;
+  const std::size_t n = grads.rows();
+  if (n == 0) return result;
+  const std::size_t d = grads.cols();
+
+  // Randomized coordinate selection, shared by every gradient this round
+  // (drawn on the calling thread so the Rng stream is pool-size
+  // independent).
   const auto coords = select_coordinates(d, cfg.coord_frac, rng);
 
-  result.features.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const SignStats s = sign_statistics(grads[i], coords);
-    std::vector<float> f = {static_cast<float>(s.pos),
-                            static_cast<float>(s.zero),
-                            static_cast<float>(s.neg)};
-    switch (cfg.similarity) {
-      case SimilarityFeature::kNone:
-        break;
-      case SimilarityFeature::kCosine: {
-        const double sim =
-            reference.empty() ? median_pairwise_cosine(grads, i)
-                              : vec::cosine(grads[i], reference);
-        f.push_back(static_cast<float>(sim));
-        break;
+  // Fused threaded pass: per-client sign statistics over the shared
+  // coordinate subset.
+  const std::vector<SignStats> stats_rows = sign_statistics(grads, coords);
+
+  // Optional similarity feature, computed for all clients at once: one
+  // threaded row_dots/row_norms pass against the reference, or one
+  // threaded pairwise block when no reference exists yet.
+  std::vector<double> similarity(n, 0.0);
+  const bool has_similarity = cfg.similarity != SimilarityFeature::kNone;
+  switch (cfg.similarity) {
+    case SimilarityFeature::kNone:
+      break;  // plain SignGuard: sign statistics only
+    case SimilarityFeature::kCosine: {
+      if (reference.empty()) {
+        similarity = median_pairwise_cosines(grads);
+      } else {
+        const auto dots = vec::row_dots(grads, reference);
+        const auto norms = vec::row_norms(grads);
+        const double ref_norm = vec::norm(reference);
+        for (std::size_t i = 0; i < n; ++i)
+          similarity[i] = (norms[i] == 0.0 || ref_norm == 0.0)
+                              ? 0.0
+                              : dots[i] / (norms[i] * ref_norm);
       }
-      case SimilarityFeature::kDistance: {
-        double dist;
-        if (reference.empty()) {
-          // Median distance to the other gradients as the proxy.
-          std::vector<double> ds;
-          ds.reserve(n - 1);
-          for (std::size_t j = 0; j < n; ++j)
-            if (j != i) ds.push_back(vec::dist(grads[i], grads[j]));
-          dist = ds.empty() ? 0.0 : stats::median(ds);
-        } else {
-          dist = vec::dist(grads[i], reference);
-        }
-        // Normalize by the median norm so the feature is dimensionless and
-        // comparable in scale to the sign proportions.
-        const double scale = median_norm > 0.0 ? median_norm : 1.0;
-        f.push_back(static_cast<float>(dist / scale));
-        break;
-      }
+      break;
     }
-    result.features.push_back(std::move(f));
+    case SimilarityFeature::kDistance: {
+      std::vector<double> dist(n, 0.0);
+      if (reference.empty()) {
+        // Median distance to the other gradients as the proxy.
+        dist = median_pairwise_distances(grads);
+      } else {
+        common::parallel_for(n, [&](std::size_t i) {
+          dist[i] = vec::dist(grads.row(i), reference);
+        });
+      }
+      // Normalize by the median norm so the feature is dimensionless
+      // and comparable in scale to the sign proportions.
+      const double scale = median_norm > 0.0 ? median_norm : 1.0;
+      for (std::size_t i = 0; i < n; ++i) similarity[i] = dist[i] / scale;
+      break;
+    }
   }
+
+  // Feature rows live in their own small flat matrix (n x 3 or n x 4)
+  // that the clusterers consume as row spans; the legacy per-row vectors
+  // are kept on the result for diagnostics and tests.
+  const std::size_t feat_dim = has_similarity ? 4 : 3;
+  common::GradientMatrix features(n, feat_dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f = features.row(i);
+    f[0] = static_cast<float>(stats_rows[i].pos);
+    f[1] = static_cast<float>(stats_rows[i].zero);
+    f[2] = static_cast<float>(stats_rows[i].neg);
+    if (has_similarity) f[3] = static_cast<float>(similarity[i]);
+  }
+  result.features = features.to_vectors();
 
   cluster::ClusterResult cr;
   if (cfg.clusterer == Clusterer::kMeanShift) {
-    cr = cluster::mean_shift(result.features, cfg.meanshift);
+    cr = cluster::mean_shift(features, cfg.meanshift);
   } else {
     cluster::KMeansConfig km;
     km.k = 2;
-    cr = cluster::kmeans(result.features, km, rng);
+    cr = cluster::kmeans(features, km, rng);
   }
   result.n_clusters = cr.n_clusters;
   result.accepted = cr.members(cr.largest_cluster());
   return result;
 }
 
-std::vector<float> clipped_mean(std::span<const std::vector<float>> grads,
+SignClusterResult sign_cluster_filter(
+    std::span<const std::vector<float>> grads,
+    std::span<const float> reference, double median_norm,
+    const SignClusterConfig& cfg, Rng& rng) {
+  return sign_cluster_filter(common::GradientMatrix::from_vectors(grads),
+                             reference, median_norm, cfg, rng);
+}
+
+std::vector<float> clipped_mean(const common::GradientMatrix& grads,
                                 std::span<const std::size_t> selected,
                                 double bound, bool clip) {
   assert(!selected.empty());
-  const std::size_t d = grads.front().size();
-  std::vector<float> out(d, 0.0f);
-  for (const std::size_t idx : selected) {
-    const auto& g = grads[idx];
-    double w = 1.0;
-    if (clip && bound > 0.0) {
-      const double nrm = vec::norm(g);
-      if (nrm > bound) w = bound / nrm;
-    }
-    vec::axpy(w, g, out);
+  // Per-row clip weights from one threaded norm pass, then one
+  // coordinate-parallel weighted accumulation.
+  std::vector<double> weights(selected.size(), 1.0);
+  if (clip && bound > 0.0) {
+    common::parallel_for(selected.size(), [&](std::size_t k) {
+      const double nrm = vec::norm(grads.row(selected[k]));
+      if (nrm > bound) weights[k] = bound / nrm;
+    });
   }
-  vec::scale(out, 1.0 / double(selected.size()));
-  return out;
+  return vec::weighted_mean_of_subset(grads, selected, weights);
+}
+
+std::vector<float> clipped_mean(std::span<const std::vector<float>> grads,
+                                std::span<const std::size_t> selected,
+                                double bound, bool clip) {
+  return clipped_mean(common::GradientMatrix::from_vectors(grads), selected,
+                      bound, clip);
 }
 
 std::vector<std::size_t> intersect_indices(std::span<const std::size_t> a,

@@ -3,11 +3,17 @@
 // standalone, individually testable components, plus the norm-clipped mean
 // aggregation step. The SignGuard aggregator composes them; the Table III
 // ablation bench toggles them one by one.
+//
+// Matrix overloads are the primary implementations: row norms, the fused
+// sign-statistic pass and the pairwise similarity blocks all run on the
+// shared thread pool. The vector-of-vectors overloads adapt via one copy
+// into a GradientMatrix.
 
 #include <span>
 #include <vector>
 
 #include "cluster/meanshift.h"
+#include "common/gradient_matrix.h"
 #include "common/rng.h"
 
 namespace signguard::core {
@@ -25,6 +31,8 @@ struct NormFilterResult {
   std::vector<double> norms;          // per-gradient l2 norms
 };
 
+NormFilterResult norm_filter(const common::GradientMatrix& grads,
+                             const NormFilterConfig& cfg);
 NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
                              const NormFilterConfig& cfg);
 
@@ -53,6 +61,10 @@ struct SignClusterResult {
 // (the previous round's aggregate). When empty, the median of pairwise
 // similarities is used instead, as suggested in §IV-B. `median_norm`
 // normalizes the distance feature to a dimensionless scale.
+SignClusterResult sign_cluster_filter(const common::GradientMatrix& grads,
+                                      std::span<const float> reference,
+                                      double median_norm,
+                                      const SignClusterConfig& cfg, Rng& rng);
 SignClusterResult sign_cluster_filter(
     std::span<const std::vector<float>> grads, std::span<const float> reference,
     double median_norm, const SignClusterConfig& cfg, Rng& rng);
@@ -62,6 +74,9 @@ SignClusterResult sign_cluster_filter(
 // Mean over the selected gradients with per-gradient norm clipping:
 //   (1/|S|) * sum_{i in S} g_i * min(1, bound/||g_i||)       (Algorithm 2,
 // line 14). With clip == false it degrades to the plain subset mean.
+std::vector<float> clipped_mean(const common::GradientMatrix& grads,
+                                std::span<const std::size_t> selected,
+                                double bound, bool clip = true);
 std::vector<float> clipped_mean(std::span<const std::vector<float>> grads,
                                 std::span<const std::size_t> selected,
                                 double bound, bool clip = true);

@@ -20,10 +20,10 @@ std::string SignGuard::name() const {
   return "SignGuard";
 }
 
-std::vector<float> SignGuard::aggregate(
-    std::span<const std::vector<float>> grads, const agg::GarContext&) {
+std::vector<float> SignGuard::aggregate(const common::GradientMatrix& grads,
+                                        const agg::GarContext&) {
   assert(!grads.empty());
-  const std::size_t n = grads.size();
+  const std::size_t n = grads.rows();
 
   // Step 1: norm-based thresholding (also computes the clipping bound M).
   last_norm_ = norm_filter(grads, cfg_.norm);
@@ -39,7 +39,7 @@ std::vector<float> SignGuard::aggregate(
     // No trustworthy gradient this round; emit a zero update.
     selected_.clear();
     last_cluster_ = SignClusterResult{};
-    prev_aggregate_.assign(grads.front().size(), 0.0f);
+    prev_aggregate_.assign(grads.cols(), 0.0f);
     return prev_aggregate_;
   }
 

@@ -36,7 +36,8 @@ class SignGuard : public agg::Aggregator {
  public:
   explicit SignGuard(SignGuardConfig cfg = {});
 
-  std::vector<float> aggregate(std::span<const std::vector<float>> grads,
+  using agg::Aggregator::aggregate;
+  std::vector<float> aggregate(const common::GradientMatrix& grads,
                                const agg::GarContext& ctx) override;
 
   std::string name() const override;

@@ -24,10 +24,13 @@ struct Dataset {
 };
 
 // Stacks the selected samples into a [B, ...sample_shape] tensor.
+// Pure function of the const dataset — callable concurrently from the
+// trainer's parallel client loop.
 nn::Tensor make_batch(const Dataset& ds, std::span<const std::size_t> indices);
 
 // Labels of the selected samples, with optional label flipping
 // l -> C-1-l (the paper's label-flip data poisoning attack, §V-B).
+// Also const-pure / thread-safe.
 std::vector<int> batch_labels(const Dataset& ds,
                               std::span<const std::size_t> indices,
                               bool flip_labels = false);

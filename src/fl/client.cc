@@ -1,5 +1,6 @@
 #include "fl/client.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "nn/loss.h"
@@ -19,6 +20,16 @@ std::vector<float> Client::compute_gradient(nn::Model& model,
                                             double weight_decay,
                                             bool flip_labels,
                                             double client_momentum) {
+  std::vector<float> grad(model.parameter_count());
+  compute_gradient_into(grad, model, batch_size, weight_decay, flip_labels,
+                        client_momentum);
+  return grad;
+}
+
+void Client::compute_gradient_into(std::span<float> out, nn::Model& model,
+                                   std::size_t batch_size,
+                                   double weight_decay, bool flip_labels,
+                                   double client_momentum) {
   const std::size_t bs = std::min(batch_size, shard_.size());
   const auto picks = rng_.sample_without_replacement(shard_.size(), bs);
   std::vector<std::size_t> indices(bs);
@@ -36,20 +47,20 @@ std::vector<float> Client::compute_gradient(nn::Model& model,
   loss_sum_ += loss.loss;
   ++loss_count_;
 
-  std::vector<float> grad = model.gradients();
-  const std::vector<float> params = model.parameters();
-  nn::add_weight_decay(grad, params, weight_decay);
+  // Flat gradient straight into the caller's row; weight decay streams
+  // from the layer blobs — no per-client flat copies on the hot path.
+  model.gradients_into(out);
+  model.add_weight_decay_into(out, weight_decay);
 
   if (client_momentum > 0.0) {
-    if (momentum_buffer_.size() != grad.size())
-      momentum_buffer_.assign(grad.size(), 0.0f);
-    for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (momentum_buffer_.size() != out.size())
+      momentum_buffer_.assign(out.size(), 0.0f);
+    for (std::size_t i = 0; i < out.size(); ++i) {
       momentum_buffer_[i] = static_cast<float>(
-          client_momentum * momentum_buffer_[i] + double(grad[i]));
-      grad[i] = momentum_buffer_[i];
+          client_momentum * momentum_buffer_[i] + double(out[i]));
+      out[i] = momentum_buffer_[i];
     }
   }
-  return grad;
 }
 
 double Client::average_loss() const {

@@ -6,6 +6,7 @@
 // clients only run forward/backward.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -31,6 +32,15 @@ class Client {
                                       std::size_t batch_size,
                                       double weight_decay, bool flip_labels,
                                       double client_momentum = 0.0);
+
+  // Same computation, written straight into `out` (a row of the round's
+  // GradientMatrix). Thread-safe across *distinct* clients with distinct
+  // scratch models: all mutable state (rng, momentum buffer, loss stats)
+  // is per-client, so the trainer fans clients out over the pool.
+  // Precondition: out.size() == model.parameter_count().
+  void compute_gradient_into(std::span<float> out, nn::Model& model,
+                             std::size_t batch_size, double weight_decay,
+                             bool flip_labels, double client_momentum = 0.0);
 
   std::size_t shard_size() const { return shard_.size(); }
   const std::vector<std::size_t>& shard() const { return shard_; }

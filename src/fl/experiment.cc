@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 #include "attacks/byzmean.h"
 #include "attacks/lie.h"
 #include "attacks/minmax_minsum.h"
@@ -36,6 +38,12 @@ std::string to_string(Scale s) {
       break;
   }
   return "default";
+}
+
+std::string runtime_summary(Scale s) {
+  return "scale=" + to_string(s) +
+         " threads=" + std::to_string(common::thread_count()) +
+         " (set SIGNGUARD_SCALE=smoke|default|full, SIGNGUARD_THREADS=N)";
 }
 
 namespace {

@@ -20,6 +20,11 @@ enum class Scale { kSmoke, kDefault, kFull };
 Scale scale_from_env();
 std::string to_string(Scale s);
 
+// One-line runtime summary for bench banners: the active scale plus the
+// thread-pool size (SIGNGUARD_THREADS / hardware_concurrency) every
+// matrix kernel and the parallel trainer will use.
+std::string runtime_summary(Scale s);
+
 // The paper's four evaluation workloads (§V-A), backed by this repo's
 // synthetic stand-in datasets (DESIGN.md substitution #1).
 enum class WorkloadKind { kMnistLike, kFashionLike, kCifarLike, kAgNewsLike };

@@ -1,8 +1,14 @@
 #include "fl/trainer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <string>
 
+#include "common/gradient_matrix.h"
+#include "common/parallel.h"
 #include "fl/client.h"
 #include "fl/server.h"
 
@@ -37,9 +43,22 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     clients.emplace_back(&data_.train, std::move(shards[i]),
                          rng.split().engine()());
 
-  // One scratch model shared by every client (all clients evaluate the
-  // same global parameters each round), plus the server.
-  nn::Model model = model_factory_(cfg_.seed);
+  // Scratch models for the parallel client loop: every client evaluates
+  // the same global parameters each round, and client-level local
+  // training fans out over the thread pool (clients are independent —
+  // their rng, loss stats and momentum buffers are per-client, so
+  // results are identical for any SIGNGUARD_THREADS). Models are grown
+  // on demand to min(pool size, participants), re-checked per round in
+  // case the pool is resized mid-run. A deque keeps references to
+  // existing models stable across growth.
+  std::deque<nn::Model> worker_models;
+  auto ensure_models = [&](std::size_t count) {
+    while (worker_models.size() < count)
+      worker_models.push_back(model_factory_(cfg_.seed));
+  };
+  ensure_models(1);
+  nn::Model& model = worker_models.front();
+  const std::size_t dim = model.parameter_count();
   Server server(std::move(gar), model.parameters(), cfg_.lr, cfg_.momentum);
 
   const std::size_t n = cfg_.n_clients;
@@ -47,19 +66,20 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   Rng participation_rng = rng.split();
 
   TrainingResult result;
-  std::vector<std::vector<float>> benign_grads;
-  std::vector<std::vector<float>> byz_honest;
+  // Round buffers, allocated once and reused: the m_round Byzantine rows
+  // lead (so selection accounting can attribute them), benign rows
+  // follow. byz_honest holds what the Byzantine clients would honestly
+  // send — the attack's raw material.
+  common::GradientMatrix round_grads;
+  common::GradientMatrix byz_honest;
 
   for (std::size_t round = 0; round < cfg_.rounds; ++round) {
     attack.begin_round(round, attack_rng);
     const bool flip = attack.flips_labels();
 
-    model.set_parameters(server.parameters());
-
     // Participating clients this round (full set unless partial
     // participation is configured). Byzantine clients are those among the
-    // sampled set with index < m; their gradients go first so selection
-    // accounting can attribute them.
+    // sampled set with index < m.
     std::vector<std::size_t> byz_sel, benign_sel;
     if (cfg_.participation >= 1.0) {
       for (std::size_t i = 0; i < m; ++i) byz_sel.push_back(i);
@@ -77,34 +97,76 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     const std::size_t n_round = byz_sel.size() + benign_sel.size();
     const std::size_t m_round = byz_sel.size();
 
-    benign_grads.clear();
-    byz_honest.clear();
-    for (const std::size_t i : benign_sel)
-      benign_grads.push_back(clients[i].compute_gradient(
-          model, cfg_.batch_size, cfg_.weight_decay, /*flip_labels=*/false,
-          cfg_.client_momentum));
-    for (const std::size_t i : byz_sel)
-      byz_honest.push_back(clients[i].compute_gradient(
-          model, cfg_.batch_size, cfg_.weight_decay, flip,
-          cfg_.client_momentum));
+    // Local training: every participating client writes its gradient
+    // straight into a matrix row, in parallel. Benign clients fill
+    // round_grads rows [m_round, n_round); Byzantine clients fill their
+    // honest-behaviour rows in byz_honest. Only the workers that can
+    // receive a non-empty chunk (at most n_round of them) need a synced
+    // scratch model.
+    const std::size_t active_models =
+        std::min(common::thread_count(), n_round);
+    ensure_models(active_models);
+    for (std::size_t w = 0; w < active_models; ++w)
+      worker_models[w].set_parameters(server.parameters());
+    round_grads.resize(n_round, dim);
+    byz_honest.resize(m_round, dim);
+    common::parallel_chunks(
+        n_round, [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          nn::Model& wm = worker_models[worker];
+          for (std::size_t t = begin; t < end; ++t) {
+            if (t < m_round) {
+              clients[byz_sel[t]].compute_gradient_into(
+                  byz_honest.row(t), wm, cfg_.batch_size, cfg_.weight_decay,
+                  flip, cfg_.client_momentum);
+            } else {
+              const std::size_t b = t - m_round;
+              clients[benign_sel[b]].compute_gradient_into(
+                  round_grads.row(t), wm, cfg_.batch_size, cfg_.weight_decay,
+                  /*flip_labels=*/false, cfg_.client_momentum);
+            }
+          }
+        });
+
+    // The attacker observes the benign rows (and the honest Byzantine
+    // gradients) as borrowed views of the round buffers — no copies.
+    std::vector<attacks::GradientView> benign_views;
+    benign_views.reserve(n_round - m_round);
+    for (std::size_t t = m_round; t < n_round; ++t)
+      benign_views.push_back(round_grads.row(t));
+    const std::vector<attacks::GradientView> byz_views =
+        byz_honest.row_views();
 
     attacks::AttackContext actx;
-    actx.benign_grads = benign_grads;
-    actx.byz_honest_grads = byz_honest;
+    actx.benign_grads = benign_views;
+    actx.byz_honest_grads = byz_views;
     actx.n_total = n_round;
     actx.n_byzantine = m_round;
     actx.round = round;
     actx.rng = &attack_rng;
-    std::vector<std::vector<float>> all_grads = attack.craft(actx);
-    assert(all_grads.size() == m_round);
-    for (auto& g : benign_grads) all_grads.push_back(std::move(g));
-    benign_grads.clear();
+    const std::vector<std::vector<float>> malicious = attack.craft(actx);
+    // Loud validation in every build type: a misbehaving user-defined
+    // attack must not turn into an out-of-bounds copy into the matrix.
+    if (malicious.size() != m_round)
+      throw std::invalid_argument(
+          "attack '" + attack.name() + "' crafted " +
+          std::to_string(malicious.size()) + " gradients, expected " +
+          std::to_string(m_round));
+    for (std::size_t i = 0; i < m_round; ++i) {
+      if (malicious[i].size() != dim)
+        throw std::invalid_argument(
+            "attack '" + attack.name() + "' crafted gradient " +
+            std::to_string(i) + " with dimension " +
+            std::to_string(malicious[i].size()) + ", expected " +
+            std::to_string(dim));
+      const auto row = round_grads.row(i);
+      std::copy(malicious[i].begin(), malicious[i].end(), row.begin());
+    }
 
     agg::GarContext gctx;
     gctx.assumed_byzantine = m_round;
     gctx.round = round;
     gctx.rng = &gar_rng;
-    server.step(all_grads, gctx);
+    server.step(round_grads, gctx);
 
     // Selection accounting (only meaningful for selecting rules).
     const auto selected = server.gar().last_selected();

@@ -46,6 +46,34 @@ std::vector<float> Model::gradients() {
   return flat;
 }
 
+void Model::gradients_into(std::span<float> out) {
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (const auto& p : l->params()) {
+      assert(off + p.grad.size() <= out.size());
+      for (std::size_t i = 0; i < p.grad.size(); ++i)
+        out[off + i] = p.grad[i];
+      off += p.grad.size();
+    }
+  }
+  assert(off == out.size());
+}
+
+void Model::add_weight_decay_into(std::span<float> out, double weight_decay) {
+  if (weight_decay == 0.0) return;
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (const auto& p : l->params()) {
+      assert(off + p.value.size() <= out.size());
+      for (std::size_t i = 0; i < p.value.size(); ++i)
+        out[off + i] = static_cast<float>(double(out[off + i]) +
+                                          weight_decay * double(p.value[i]));
+      off += p.value.size();
+    }
+  }
+  assert(off == out.size());
+}
+
 void Model::set_parameters(std::span<const float> flat) {
   std::size_t off = 0;
   for (auto& l : layers_) {

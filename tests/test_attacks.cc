@@ -30,16 +30,12 @@ std::vector<std::vector<float>> gaussian_grads(std::size_t n, std::size_t d,
   return out;
 }
 
-AttackContext make_ctx(std::span<const std::vector<float>> benign,
-                       std::span<const std::vector<float>> byz_honest,
-                       std::size_t n, std::size_t m, Rng& rng) {
-  AttackContext ctx;
-  ctx.benign_grads = benign;
-  ctx.byz_honest_grads = byz_honest;
-  ctx.n_total = n;
-  ctx.n_byzantine = m;
-  ctx.rng = &rng;
-  return ctx;
+// AttackContext now holds borrowed row views; the AttackInput holder owns
+// the view arrays for the duration of the craft() expression.
+AttackInput make_ctx(std::span<const std::vector<float>> benign,
+                     std::span<const std::vector<float>> byz_honest,
+                     std::size_t n, std::size_t m, Rng& rng) {
+  return make_attack_input(benign, byz_honest, n, m, &rng);
 }
 
 TEST(NoAttack, ForwardsHonestGradients) {
@@ -47,7 +43,7 @@ TEST(NoAttack, ForwardsHonestGradients) {
   const auto benign = gaussian_grads(8, 16, 0.1, 1.0, 2);
   const auto byz = gaussian_grads(2, 16, 0.1, 1.0, 3);
   NoAttack attack;
-  const auto out = attack.craft(make_ctx(benign, byz, 10, 2, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 10, 2, rng).ctx);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0], byz[0]);
   EXPECT_EQ(out[1], byz[1]);
@@ -58,7 +54,7 @@ TEST(RandomAttack, StatisticsMatchConfiguredGaussian) {
   const auto benign = gaussian_grads(8, 4000, 0.5, 1.0, 5);
   const auto byz = gaussian_grads(2, 4000, 0.5, 1.0, 6);
   RandomAttack attack(0.0, 0.5);
-  const auto out = attack.craft(make_ctx(benign, byz, 10, 2, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 10, 2, rng).ctx);
   ASSERT_EQ(out.size(), 2u);
   const auto m = vec::coordinate_moments(out);
   double mean_acc = 0.0;
@@ -75,7 +71,7 @@ TEST(NoiseAttack, PerturbsHonestGradient) {
   const auto benign = gaussian_grads(8, 2000, 0.0, 1.0, 8);
   const auto byz = gaussian_grads(2, 2000, 0.0, 1.0, 9);
   NoiseAttack attack(0.0, 0.5);
-  const auto out = attack.craft(make_ctx(benign, byz, 10, 2, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 10, 2, rng).ctx);
   const auto delta = vec::sub(out[0], byz[0]);
   EXPECT_NEAR(vec::norm(delta) / std::sqrt(2000.0), 0.5, 0.05);
 }
@@ -85,7 +81,7 @@ TEST(SignFlip, ExactNegation) {
   const auto benign = gaussian_grads(4, 8, 0.0, 1.0, 11);
   const auto byz = gaussian_grads(2, 8, 0.0, 1.0, 12);
   SignFlipAttack attack;
-  const auto out = attack.craft(make_ctx(benign, byz, 6, 2, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 6, 2, rng).ctx);
   for (std::size_t j = 0; j < 8; ++j)
     EXPECT_FLOAT_EQ(out[0][j], -byz[0][j]);
 }
@@ -95,7 +91,7 @@ TEST(ReverseScaling, NegatesAndScales) {
   const auto benign = gaussian_grads(4, 8, 0.0, 1.0, 14);
   const auto byz = gaussian_grads(1, 8, 0.0, 1.0, 15);
   ReverseScalingAttack attack(100.0);
-  const auto out = attack.craft(make_ctx(benign, byz, 5, 1, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 5, 1, rng).ctx);
   for (std::size_t j = 0; j < 8; ++j)
     EXPECT_FLOAT_EQ(out[0][j], -100.0f * byz[0][j]);
 }
@@ -106,7 +102,7 @@ TEST(LabelFlip, FlagsDataPoisoningAndForwards) {
   Rng rng(16);
   const auto benign = gaussian_grads(4, 8, 0.0, 1.0, 17);
   const auto byz = gaussian_grads(2, 8, 0.0, 1.0, 18);
-  const auto out = attack.craft(make_ctx(benign, byz, 6, 2, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 6, 2, rng).ctx);
   EXPECT_EQ(out[0], byz[0]);
 }
 
@@ -124,7 +120,7 @@ TEST(Lie, AllByzantineSendSameVector) {
   const auto benign = gaussian_grads(8, 16, 0.0, 1.0, 21);
   const auto byz = gaussian_grads(3, 16, 0.0, 1.0, 22);
   LieAttack attack(0.3);
-  const auto out = attack.craft(make_ctx(benign, byz, 11, 3, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 11, 3, rng).ctx);
   ASSERT_EQ(out.size(), 3u);
   EXPECT_EQ(out[0], out[1]);
   EXPECT_EQ(out[1], out[2]);
@@ -149,7 +145,7 @@ TEST(Lie, NonPositiveZUsesZMax) {
   const auto benign = gaussian_grads(40, 16, 0.0, 1.0, 24);
   const auto byz = gaussian_grads(10, 16, 0.0, 1.0, 25);
   LieAttack attack(0.0);  // auto
-  const auto out = attack.craft(make_ctx(benign, byz, 50, 10, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 50, 10, rng).ctx);
   const auto expected =
       LieAttack::craft_vector(benign, LieAttack::z_max(50, 10));
   for (std::size_t j = 0; j < expected.size(); ++j)
@@ -168,7 +164,7 @@ TEST(ByzMean, MeanOfAllGradientsEqualsGm1) {
   const auto byz = gaussian_grads(2, 64, 0.1, 1.0, 28);
   ByzMeanAttack attack;
   const std::size_t n = 10, m = 2;
-  const auto out = attack.craft(make_ctx(benign, byz, n, m, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, n, m, rng).ctx);
   ASSERT_EQ(out.size(), m);
   // Assemble the full gradient population and check Eq. (8)'s identity.
   std::vector<std::vector<float>> all(out.begin(), out.end());
@@ -184,7 +180,7 @@ TEST(ByzMean, SplitsGroupsEvenly) {
   const auto benign = gaussian_grads(40, 16, 0.0, 1.0, 30);
   const auto byz = gaussian_grads(10, 16, 0.0, 1.0, 31);
   ByzMeanAttack attack;
-  const auto out = attack.craft(make_ctx(benign, byz, 50, 10, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 50, 10, rng).ctx);
   ASSERT_EQ(out.size(), 10u);
   // m1 = 5 copies of g_m1, then 5 copies of g_m2.
   for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(out[i], out[0]);
@@ -197,7 +193,7 @@ TEST(ByzMean, SingleByzantineClientStillWellDefined) {
   const auto benign = gaussian_grads(8, 8, 0.0, 1.0, 33);
   const auto byz = gaussian_grads(1, 8, 0.0, 1.0, 34);
   ByzMeanAttack attack;
-  const auto out = attack.craft(make_ctx(benign, byz, 9, 1, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 9, 1, rng).ctx);
   EXPECT_EQ(out.size(), 1u);
 }
 
@@ -206,7 +202,7 @@ TEST(MinMax, SatisfiesCliqueConstraint) {
   const auto benign = gaussian_grads(12, 64, 0.1, 1.0, 36);
   const auto byz = gaussian_grads(3, 64, 0.1, 1.0, 37);
   MinMaxAttack attack;
-  const auto out = attack.craft(make_ctx(benign, byz, 15, 3, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 15, 3, rng).ctx);
   const auto& gm = out[0];
   double max_to_benign = 0.0, max_pair = 0.0;
   for (std::size_t i = 0; i < benign.size(); ++i) {
@@ -223,7 +219,7 @@ TEST(MinSum, SatisfiesSumConstraint) {
   const auto benign = gaussian_grads(12, 64, 0.1, 1.0, 39);
   const auto byz = gaussian_grads(3, 64, 0.1, 1.0, 40);
   MinSumAttack attack;
-  const auto out = attack.craft(make_ctx(benign, byz, 15, 3, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 15, 3, rng).ctx);
   const auto& gm = out[0];
   double sum_gm = 0.0, max_sum = 0.0;
   for (std::size_t i = 0; i < benign.size(); ++i) {
@@ -243,7 +239,7 @@ TEST(MinMax, GammaIsMaximal) {
   const auto benign = gaussian_grads(10, 32, 0.1, 1.0, 42);
   const auto byz = gaussian_grads(2, 32, 0.1, 1.0, 43);
   MinMaxAttack attack;
-  const auto out = attack.craft(make_ctx(benign, byz, 12, 2, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 12, 2, rng).ctx);
   const double gamma = attack.last_gamma();
   ASSERT_GT(gamma, 0.0);
   if (gamma < 99.0) {  // not capped
@@ -315,7 +311,7 @@ TEST(TimeVarying, CraftDelegatesToActiveAttack) {
   EXPECT_EQ(attack.current(), "SignFlip");
   const auto benign = gaussian_grads(4, 8, 0.0, 1.0, 47);
   const auto byz = gaussian_grads(1, 8, 0.0, 1.0, 48);
-  const auto out = attack.craft(make_ctx(benign, byz, 5, 1, rng));
+  const auto out = attack.craft(make_ctx(benign, byz, 5, 1, rng).ctx);
   for (std::size_t j = 0; j < 8; ++j)
     EXPECT_FLOAT_EQ(out[0][j], -byz[0][j]);
 }

@@ -67,6 +67,48 @@ TEST(KMeans, IdenticalPointsFormOneEffectiveCluster) {
   EXPECT_EQ(r.sizes[std::size_t(r.largest_cluster())], 10u);
 }
 
+TEST(KMeans, DuplicatePointsNeverSeedTwoIdenticalCenters) {
+  // Two distinct locations, each heavily duplicated. k-means++ must not
+  // seed both centers on copies of the same point (which previously left
+  // an empty cluster behind), for any seed.
+  std::vector<std::vector<float>> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({0.0f, 0.0f});
+  for (int i = 0; i < 6; ++i) pts.push_back({5.0f, 5.0f});
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const ClusterResult r = kmeans(pts, KMeansConfig{.k = 2}, rng);
+    ASSERT_EQ(r.n_clusters, 2u) << "seed=" << seed;
+    EXPECT_EQ(r.sizes[0], 6u) << "seed=" << seed;
+    EXPECT_EQ(r.sizes[1], 6u) << "seed=" << seed;
+    // Members of each location agree on their label.
+    for (int i = 1; i < 6; ++i) EXPECT_EQ(r.labels[i], r.labels[0]);
+    for (int i = 7; i < 12; ++i) EXPECT_EQ(r.labels[i], r.labels[6]);
+    EXPECT_NE(r.labels[0], r.labels[6]);
+  }
+}
+
+TEST(KMeans, MostlyDuplicatesWithOneOutlier) {
+  // 9 copies of one point + 1 outlier: whichever point seeds first, the
+  // second center must land on the other location and no cluster may end
+  // up empty.
+  std::vector<std::vector<float>> pts(9, {1.0f, 1.0f});
+  pts.push_back({9.0f, 9.0f});
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const ClusterResult r = kmeans(pts, KMeansConfig{.k = 2}, rng);
+    ASSERT_EQ(r.n_clusters, 2u) << "seed=" << seed;
+    for (const auto size : r.sizes) EXPECT_GT(size, 0u) << "seed=" << seed;
+    EXPECT_EQ(r.sizes[std::size_t(r.largest_cluster())], 9u);
+  }
+}
+
+TEST(ClusterResultGuards, EmptyResultIsSafe) {
+  const ClusterResult empty;
+  EXPECT_EQ(empty.largest_cluster(), -1);
+  EXPECT_TRUE(empty.members(-1).empty());
+  EXPECT_TRUE(empty.members(0).empty());
+}
+
 TEST(MeanShift, FindsTwoModes) {
   const auto pts = two_blobs(25, 12, 5.0, 0.25, 7);
   const ClusterResult r = mean_shift(pts);

@@ -210,13 +210,9 @@ TEST_P(ByzMeanInnerSweep, MeanIdentityHoldsForEveryInnerAttack) {
   const auto benign = gaussian_grads(16, 64, 0.1, 1.0, 43);
   const auto byz = gaussian_grads(4, 64, 0.1, 1.0, 44);
   Rng rng(45);
-  attacks::AttackContext ctx;
-  ctx.benign_grads = benign;
-  ctx.byz_honest_grads = byz;
-  ctx.n_total = 20;
-  ctx.n_byzantine = 4;
-  ctx.rng = &rng;
-  const auto out = attack.craft(ctx);
+  const attacks::AttackInput in =
+      attacks::make_attack_input(benign, byz, 20, 4, &rng);
+  const auto out = attack.craft(in.ctx);
   std::vector<std::vector<float>> all(out.begin(), out.end());
   all.insert(all.end(), benign.begin(), benign.end());
   const auto mean = vec::mean_of(all);
@@ -235,14 +231,10 @@ TEST_P(PerturbationSweep, MinMaxConstraintHoldsForEveryPerturbation) {
   const auto benign = gaussian_grads(12, 128, 0.2, 1.0, 47);
   const auto byz = gaussian_grads(3, 128, 0.2, 1.0, 48);
   Rng rng(49);
-  attacks::AttackContext ctx;
-  ctx.benign_grads = benign;
-  ctx.byz_honest_grads = byz;
-  ctx.n_total = 15;
-  ctx.n_byzantine = 3;
-  ctx.rng = &rng;
+  const attacks::AttackInput in =
+      attacks::make_attack_input(benign, byz, 15, 3, &rng);
   attacks::MinMaxAttack attack(p);
-  const auto out = attack.craft(ctx);
+  const auto out = attack.craft(in.ctx);
   double max_to_benign = 0.0, max_pair = 0.0;
   for (std::size_t i = 0; i < benign.size(); ++i) {
     max_to_benign = std::max(max_to_benign, vec::dist2(out[0], benign[i]));
