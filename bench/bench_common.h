@@ -32,6 +32,36 @@ inline bool keep(const std::vector<std::string>& filter,
   return false;
 }
 
+// Last "--key=value" occurrence, or `fallback` when absent.
+inline std::string arg_value(int argc, char** argv, const std::string& key,
+                             const std::string& fallback = "") {
+  const auto all = arg_values(argc, argv, key);
+  return all.empty() ? fallback : all.back();
+}
+
+// Bare "--key" flag (no value).
+inline bool has_flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 1; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
+
+// Splits "a,b,c" on commas, dropping empty tokens (so "a,,b," is
+// {"a","b"} and a stray trailing comma cannot create a phantom entry).
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t comma = s.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > begin) out.push_back(s.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
 inline void banner(const char* experiment, fl::Scale scale) {
   std::printf("== %s ==\n", experiment);
   std::printf("%s\n\n", fl::runtime_summary(scale).c_str());

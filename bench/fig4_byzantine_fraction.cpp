@@ -2,67 +2,28 @@
 // no-defense baseline — Definition 3) as the Byzantine fraction sweeps
 // 10%..40%, for {Median, TrMean, Multi-Krum, DnC, SignGuard-Sim} under
 // the five strong attacks, on (a) the Fashion-like and (b) the
-// CIFAR-like workloads.
+// CIFAR-like workloads. The whole grid — baselines included — is one
+// fl::run_sweep call, executed concurrently.
 //
 // Paper reference (Fig. 4): SignGuard-Sim's impact curve stays near zero
 // at every fraction; the baselines degrade sharply as the fraction grows.
 
+#include <map>
+
 #include "bench_common.h"
 #include "common/table.h"
-#include "fl/trainer.h"
+#include "fl/metrics.h"
+#include "fl/sweep.h"
 
 namespace {
 
 using namespace signguard;
 
-void run_workload(fl::WorkloadKind kind, const char* title, fl::Scale scale,
-                  const std::vector<std::string>& defense_filter,
-                  const std::vector<std::string>& attack_filter) {
-  fl::Workload w = fl::make_workload(kind, fl::ModelProfile::kGrid, scale);
-
-  const std::vector<double> fractions = {0.1, 0.2, 0.3, 0.4};
-  const std::vector<std::string> defenses = {"Median", "TrMean",
-                                             "Multi-Krum", "DnC",
-                                             "SignGuard-Sim"};
-  const std::vector<std::string> attacks = {"ByzMean", "SignFlip", "LIE",
-                                            "MinMax", "MinSum"};
-
-  // Baseline: no attack, plain mean, no Byzantine clients.
-  fl::Workload base = w;
-  base.config.byzantine_frac = 0.0;
-  fl::Trainer base_trainer(base.data, base.model_factory, base.config);
-  auto no_attack = fl::make_attack("NoAttack");
-  const double baseline =
-      base_trainer.run(*no_attack, fl::make_aggregator("Mean"))
-          .best_accuracy;
-  std::printf("[%s] baseline accuracy (no attack, Mean): %.2f%%\n", title,
-              baseline);
-
-  for (const auto& defense : defenses) {
-    if (!bench::keep(defense_filter, defense)) continue;
-    std::vector<std::string> header = {"Attack \\ Byz%"};
-    for (const double f : fractions)
-      header.push_back(TextTable::fmt(100.0 * f, 0) + "%");
-    TextTable table(header);
-    for (const auto& attack_name : attacks) {
-      if (!bench::keep(attack_filter, attack_name)) continue;
-      std::vector<std::string> row = {attack_name};
-      for (const double f : fractions) {
-        fl::Workload wf = w;
-        wf.config.byzantine_frac = f;
-        fl::Trainer trainer(wf.data, wf.model_factory, wf.config);
-        auto attack = fl::make_attack(attack_name);
-        const auto res = trainer.run(*attack, fl::make_aggregator(defense));
-        row.push_back(
-            TextTable::fmt(fl::attack_impact(baseline, res.best_accuracy)));
-      }
-      table.add_row(std::move(row));
-    }
-    std::printf("\n[%s / %s] attack impact (accuracy drop, %%):\n%s", title,
-                defense.c_str(), table.to_string().c_str());
-  }
-  std::printf("\n");
-}
+const std::vector<double> kFractions = {0.1, 0.2, 0.3, 0.4};
+const std::vector<std::string> kDefenses = {"Median", "TrMean", "Multi-Krum",
+                                            "DnC", "SignGuard-Sim"};
+const std::vector<std::string> kAttacks = {"ByzMean", "SignFlip", "LIE",
+                                           "MinMax", "MinSum"};
 
 }  // namespace
 
@@ -74,14 +35,83 @@ int main(int argc, char** argv) {
   const auto defense_filter = bench::arg_values(argc, argv, "defense");
   const auto attack_filter = bench::arg_values(argc, argv, "attack");
 
+  const std::vector<fl::WorkloadKind> kinds = {fl::WorkloadKind::kFashionLike,
+                                               fl::WorkloadKind::kCifarLike};
+
+  std::vector<fl::ScenarioSpec> specs;
+  for (const auto kind : kinds) {
+    if (!bench::keep(dataset_filter, fl::workload_name(kind))) continue;
+    // Baseline: no attack, plain mean, no Byzantine clients.
+    fl::ScenarioSpec base;
+    base.workload = kind;
+    base.byzantine_frac = 0.0;
+    specs.push_back(base);
+    for (const auto& defense : kDefenses) {
+      if (!bench::keep(defense_filter, defense)) continue;
+      for (const auto& attack : kAttacks) {
+        if (!bench::keep(attack_filter, attack)) continue;
+        for (const double f : kFractions) {
+          fl::ScenarioSpec s;
+          s.workload = kind;
+          s.gar = defense;
+          s.attack = attack;
+          s.byzantine_frac = f;
+          specs.push_back(s);
+        }
+      }
+    }
+  }
+
+  fl::SweepOptions opts;
+  opts.scale = scale;
+  opts.capture_rounds = false;
+  opts.progress = [](std::size_t done, std::size_t total,
+                     const fl::ScenarioResult& r) {
+    std::fprintf(stderr, "[%zu/%zu] %s\n", done, total, r.spec.id().c_str());
+  };
+
   bench::Stopwatch total;
-  if (bench::keep(dataset_filter, "Fashion-like"))
-    run_workload(fl::WorkloadKind::kFashionLike,
-                 "Fashion-like (Fig. 4a)", scale, defense_filter,
-                 attack_filter);
-  if (bench::keep(dataset_filter, "CIFAR-like"))
-    run_workload(fl::WorkloadKind::kCifarLike, "CIFAR-like (Fig. 4b)",
-                 scale, defense_filter, attack_filter);
+  const auto results = fl::run_sweep(std::move(specs), opts);
+
+  // Index by (workload, gar, attack, fraction).
+  std::map<std::string, double> best;
+  for (const auto& r : results)
+    best[fl::workload_name(r.spec.workload) + "|" + r.spec.gar + "|" +
+         r.spec.attack + "|" + TextTable::fmt(r.spec.byzantine_frac, 2)] =
+        r.best_accuracy;
+
+  for (const auto kind : kinds) {
+    const std::string title = fl::workload_name(kind);
+    if (!bench::keep(dataset_filter, title)) continue;
+    const auto base_it =
+        best.find(title + "|Mean|NoAttack|" + TextTable::fmt(0.0, 2));
+    const double baseline = base_it == best.end() ? 0.0 : base_it->second;
+    std::printf("[%s] baseline accuracy (no attack, Mean): %.2f%%\n",
+                title.c_str(), baseline);
+    for (const auto& defense : kDefenses) {
+      if (!bench::keep(defense_filter, defense)) continue;
+      std::vector<std::string> header = {"Attack \\ Byz%"};
+      for (const double f : kFractions)
+        header.push_back(TextTable::fmt(100.0 * f, 0) + "%");
+      TextTable table(header);
+      for (const auto& attack : kAttacks) {
+        if (!bench::keep(attack_filter, attack)) continue;
+        std::vector<std::string> row = {attack};
+        for (const double f : kFractions) {
+          const auto it = best.find(title + "|" + defense + "|" + attack +
+                                    "|" + TextTable::fmt(f, 2));
+          row.push_back(it == best.end()
+                            ? "-"
+                            : TextTable::fmt(
+                                  fl::attack_impact(baseline, it->second)));
+        }
+        table.add_row(std::move(row));
+      }
+      std::printf("\n[%s / %s] attack impact (accuracy drop, %%):\n%s",
+                  title.c_str(), defense.c_str(), table.to_string().c_str());
+    }
+    std::printf("\n");
+  }
   std::printf("total wall time: %.1fs\n", total.seconds());
   return 0;
 }

@@ -1,0 +1,142 @@
+// sweep_runner: declarative scenario-sweep CLI over the fl::run_sweep
+// engine. Expands a cartesian grid (workload × attack × GAR × partition
+// skew × Byzantine fraction × participation × failure injection), runs
+// every scenario concurrently on the SIGNGUARD_THREADS pool, and streams
+// one JSONL line per scenario to stdout (or --out=FILE) in canonical
+// order — bit-identical for any thread count. Progress, the banner and
+// the Table-I-style summary go to stderr so `sweep_runner > run.jsonl`
+// stays clean.
+//
+// Usage (all list args comma-separated; defaults form a 24-scenario
+// smoke grid):
+//   sweep_runner [--workloads=MNIST-like,...] [--profile=grid|paper]
+//                [--attacks=NoAttack,SignFlip,LIE,ByzMean]
+//                [--gars=Mean,Median,SignGuard]
+//                [--skews=iid,0.5] [--byz=0.2] [--participation=1.0]
+//                [--dropout=0.0] [--straggler=0.0]
+//                [--rounds=N] [--clients=N] [--seed=7]
+//                [--out=FILE] [--timing] [--no-round-checksums]
+//                [--summary] [--list]
+// Scale via SIGNGUARD_SCALE=smoke|default|full (rounds=0 resolves to it).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "fl/sweep.h"
+
+namespace {
+
+using namespace signguard;
+
+std::vector<double> parse_skews(const std::vector<std::string>& items) {
+  std::vector<double> out;
+  for (const auto& s : items)
+    out.push_back(s == "iid" ? fl::kIidSkew : std::atof(s.c_str()));
+  return out;
+}
+
+std::vector<double> parse_doubles(const std::vector<std::string>& items) {
+  std::vector<double> out;
+  for (const auto& s : items) out.push_back(std::atof(s.c_str()));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace signguard;
+  const auto scale = fl::scale_from_env();
+
+  fl::SweepGrid grid;
+  grid.workloads.clear();
+  try {
+    for (const auto& name : bench::split_csv(
+             bench::arg_value(argc, argv, "workloads", "MNIST-like")))
+      grid.workloads.push_back(fl::workload_kind_from_name(name));
+  } catch (const std::exception& e) {
+    // Unknown attack/GAR names surface per scenario in the results; a
+    // workload typo must fail up front with a usable message.
+    std::string known;
+    for (const auto kind : fl::all_workloads())
+      (known += known.empty() ? "" : ", ") += fl::workload_name(kind);
+    std::fprintf(stderr, "%s (known workloads: %s)\n", e.what(),
+                 known.c_str());
+    return 1;
+  }
+  grid.profile = bench::arg_value(argc, argv, "profile", "grid") == "paper"
+                     ? fl::ModelProfile::kPaper
+                     : fl::ModelProfile::kGrid;
+  grid.attacks = bench::split_csv(
+      bench::arg_value(argc, argv, "attacks", "NoAttack,SignFlip,LIE,ByzMean"));
+  grid.gars = bench::split_csv(
+      bench::arg_value(argc, argv, "gars", "Mean,Median,SignGuard"));
+  grid.skews =
+      parse_skews(bench::split_csv(bench::arg_value(argc, argv, "skews",
+                                                    "iid,0.5")));
+  grid.byzantine_fracs =
+      parse_doubles(bench::split_csv(bench::arg_value(argc, argv, "byz",
+                                                      "0.2")));
+  grid.participations = parse_doubles(
+      bench::split_csv(bench::arg_value(argc, argv, "participation", "1.0")));
+  grid.dropout_probs = parse_doubles(
+      bench::split_csv(bench::arg_value(argc, argv, "dropout", "0.0")));
+  grid.straggler_probs = parse_doubles(
+      bench::split_csv(bench::arg_value(argc, argv, "straggler", "0.0")));
+  grid.rounds = std::strtoull(
+      bench::arg_value(argc, argv, "rounds", "0").c_str(), nullptr, 10);
+  grid.n_clients = std::strtoull(
+      bench::arg_value(argc, argv, "clients", "0").c_str(), nullptr, 10);
+  grid.seed = std::strtoull(bench::arg_value(argc, argv, "seed", "7").c_str(),
+                            nullptr, 10);
+
+  std::vector<fl::ScenarioSpec> specs = grid.expand();
+  std::fprintf(stderr, "== sweep_runner: %zu scenarios ==\n%s\n",
+               specs.size(), fl::runtime_summary(scale).c_str());
+
+  if (bench::has_flag(argc, argv, "list")) {
+    for (const auto& s : specs) std::printf("%s\n", s.id().c_str());
+    return 0;
+  }
+
+  std::ofstream out_file;
+  const std::string out_path = bench::arg_value(argc, argv, "out");
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "cannot open --out=%s\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  fl::SweepOptions opts;
+  opts.scale = scale;
+  opts.capture_rounds = !bench::has_flag(argc, argv, "no-round-checksums");
+  opts.include_timing = bench::has_flag(argc, argv, "timing");
+  opts.jsonl = out_path.empty() ? &std::cout
+                                : static_cast<std::ostream*>(&out_file);
+  opts.progress = [](std::size_t done, std::size_t total,
+                     const fl::ScenarioResult& r) {
+    std::fprintf(stderr, "[%zu/%zu] %s  best=%.2f%%%s%s\n", done, total,
+                 r.spec.id().c_str(), r.best_accuracy,
+                 r.error.empty() ? "" : "  ERROR: ",
+                 r.error.c_str());
+  };
+
+  bench::Stopwatch total;
+  const auto results = fl::run_sweep(std::move(specs), opts);
+
+  std::size_t failed = 0;
+  for (const auto& r : results) failed += r.error.empty() ? 0 : 1;
+  if (bench::has_flag(argc, argv, "summary"))
+    std::fprintf(stderr, "\n%s", fl::summary_table(results).c_str());
+  std::fprintf(stderr,
+               "%zu scenarios (%zu failed), wall %.1fs, threads=%zu\n",
+               results.size(), failed, total.seconds(),
+               common::thread_count());
+  // Any failed scenario fails the run: scripts and CI must not stay
+  // green while part of the grid errors out.
+  return failed > 0 ? 1 : 0;
+}

@@ -1,17 +1,21 @@
 // Table I reproduction: best test accuracy for every (defense, attack)
-// pair on the four workloads, IID data, n=50 clients, 20% Byzantine.
+// pair on the four workloads, IID data, n=50 clients, 20% Byzantine —
+// expressed as one declarative grid and executed concurrently by the
+// fl::run_sweep engine.
 //
 // Paper reference (Table I): state-of-the-art attacks (LIE, Min-Max,
 // Min-Sum, ByzMean) break the median/distance-based defenses while the
 // SignGuard family stays within a point or two of the no-attack baseline.
 //
 // Usage: table1_defense_grid [--dataset=MNIST-like] [--defense=SignGuard]
-//                            [--attack=LIE]
-// Scale via SIGNGUARD_SCALE=smoke|default|full.
+//                            [--attack=LIE] [--jsonl=FILE]
+// Scale via SIGNGUARD_SCALE=smoke|default|full; concurrency via
+// SIGNGUARD_THREADS.
+
+#include <fstream>
 
 #include "bench_common.h"
-#include "common/table.h"
-#include "fl/trainer.h"
+#include "fl/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace signguard;
@@ -22,40 +26,40 @@ int main(int argc, char** argv) {
   const auto defense_filter = bench::arg_values(argc, argv, "defense");
   const auto attack_filter = bench::arg_values(argc, argv, "attack");
 
-  const auto kinds = {
-      fl::WorkloadKind::kMnistLike, fl::WorkloadKind::kFashionLike,
-      fl::WorkloadKind::kCifarLike, fl::WorkloadKind::kAgNewsLike};
+  fl::SweepGrid grid;
+  grid.workloads.clear();
+  for (const auto kind : fl::all_workloads())
+    if (bench::keep(dataset_filter, fl::workload_name(kind)))
+      grid.workloads.push_back(kind);
+  grid.attacks.clear();
+  for (const auto& a : fl::table1_attacks())
+    if (bench::keep(attack_filter, a)) grid.attacks.push_back(a);
+  grid.gars.clear();
+  for (const auto& d : fl::table1_defenses())
+    if (bench::keep(defense_filter, d)) grid.gars.push_back(d);
+
+  std::ofstream jsonl_file;
+  const std::string jsonl_path = bench::arg_value(argc, argv, "jsonl");
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open --jsonl=%s\n", jsonl_path.c_str());
+      return 1;
+    }
+  }
+
+  fl::SweepOptions opts;
+  opts.scale = scale;
+  opts.capture_rounds = false;
+  if (jsonl_file.is_open()) opts.jsonl = &jsonl_file;
+  opts.progress = [](std::size_t done, std::size_t total,
+                     const fl::ScenarioResult& r) {
+    std::fprintf(stderr, "[%zu/%zu] %s\n", done, total, r.spec.id().c_str());
+  };
 
   bench::Stopwatch total;
-  for (const auto kind : kinds) {
-    fl::Workload w = fl::make_workload(kind, fl::ModelProfile::kGrid, scale);
-    if (!bench::keep(dataset_filter, w.name)) continue;
-
-    std::vector<std::string> header = {"GAR"};
-    for (const auto& a : fl::table1_attacks()) header.push_back(a);
-    TextTable table(header);
-
-    fl::Trainer trainer(w.data, w.model_factory, w.config);
-    for (const auto& defense : fl::table1_defenses()) {
-      if (!bench::keep(defense_filter, defense)) continue;
-      std::vector<std::string> row = {defense};
-      for (const auto& attack_name : fl::table1_attacks()) {
-        if (!bench::keep(attack_filter, attack_name)) {
-          row.push_back("-");
-          continue;
-        }
-        auto attack = fl::make_attack(attack_name);
-        const auto res =
-            trainer.run(*attack, fl::make_aggregator(defense));
-        row.push_back(TextTable::fmt(res.best_accuracy));
-      }
-      table.add_row(std::move(row));
-    }
-    std::printf("[%s]  (n=%zu, byz=%.0f%%, rounds=%zu)\n", w.name.c_str(),
-                w.config.n_clients, 100.0 * w.config.byzantine_frac,
-                w.config.rounds);
-    std::printf("%s\n", table.to_string().c_str());
-  }
+  const auto results = fl::run_sweep(grid.expand(), opts);
+  std::printf("%s", fl::summary_table(results).c_str());
   std::printf("total wall time: %.1fs\n", total.seconds());
   return 0;
 }

@@ -2,6 +2,7 @@
 // dimension the library models at once —
 //   * non-IID data (sort-and-partition, s = 0.5),
 //   * partial participation (60% of clients sampled per round),
+//   * failure injection (5% client dropout, 5% straggler skip per round),
 //   * client-side history (momentum buffers on the clients),
 //   * a time-varying adversary re-rolling its attack every epoch,
 //   * SignGuard-Sim defense.
@@ -27,6 +28,8 @@ int main() {
   w.config.noniid = true;
   w.config.noniid_s = 0.5;
   w.config.participation = 0.6;
+  w.config.dropout_prob = 0.05;    // failure injection: lost clients...
+  w.config.straggler_prob = 0.05;  // ...and updates that arrive too late
   w.config.momentum = 0.0;         // history lives on the clients instead
   w.config.client_momentum = 0.9;
   w.config.lr = 0.02;              // buffered gradients are ~10x larger
@@ -34,17 +37,23 @@ int main() {
 
   std::printf(
       "cross-silo simulation: %s, non-IID s=%.1f, %.0f%% participation, "
-      "client momentum %.1f, %.0f%% Byzantine, time-varying attack\n\n",
+      "%.0f%% dropout, %.0f%% stragglers, client momentum %.1f, "
+      "%.0f%% Byzantine, time-varying attack\n\n",
       w.name.c_str(), w.config.noniid_s, 100.0 * w.config.participation,
+      100.0 * w.config.dropout_prob, 100.0 * w.config.straggler_prob,
       w.config.client_momentum, 100.0 * w.config.byzantine_frac);
 
   fl::Trainer trainer(w.data, w.model_factory, w.config);
   attacks::TimeVaryingAttack attack(
       std::max<std::size_t>(1, w.config.rounds / 12), /*seed=*/2026);
 
+  std::size_t dropped = 0, stragglers = 0, skipped = 0;
   const auto res = trainer.run(
       attack, fl::make_aggregator("SignGuard-Sim"),
-      [](const fl::RoundObservation& obs) {
+      [&](const fl::RoundObservation& obs) {
+        dropped += obs.dropped;
+        stragglers += obs.stragglers;
+        skipped += obs.skipped ? 1 : 0;
         if (obs.test_accuracy)
           std::printf("  round %3zu  accuracy %5.2f%%\n", obs.round + 1,
                       *obs.test_accuracy);
@@ -55,5 +64,8 @@ int main() {
               "(over %zu rounds)\n",
               res.selection.honest_rate, res.selection.malicious_rate,
               res.selection.rounds);
+  std::printf("failures injected: %zu dropouts, %zu stragglers, "
+              "%zu rounds without an honest update\n",
+              dropped, stragglers, skipped);
   return 0;
 }

@@ -1,45 +1,57 @@
 // Example: compare every defense in the library on one image-classification
-// federation under a chosen attack.
+// federation under a chosen attack — a one-dimensional sweep, executed
+// concurrently by fl::run_sweep.
 //
 //   ./image_defense_comparison [attack]     (default: ByzMean)
 //
-// Demonstrates the factory API (make_workload / make_attack /
-// make_aggregator) and the TrainingResult metrics, including SignGuard's
-// honest/malicious selection accounting.
+// Demonstrates the sweep API (SweepGrid / run_sweep / ScenarioResult) and
+// the per-scenario metrics, including SignGuard's honest/malicious
+// filter pass-rates.
 
 #include <cstdio>
 #include <string>
 
 #include "common/table.h"
-#include "fl/experiment.h"
-#include "fl/trainer.h"
+#include "fl/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace signguard;
   const std::string attack_name = argc > 1 ? argv[1] : "ByzMean";
 
-  fl::Workload w = fl::make_workload(fl::WorkloadKind::kFashionLike,
-                                     fl::ModelProfile::kGrid,
-                                     fl::scale_from_env());
-  std::printf("workload %s | attack %s | %zu clients, %.0f%% Byzantine\n\n",
-              w.name.c_str(), attack_name.c_str(), w.config.n_clients,
-              100.0 * w.config.byzantine_frac);
+  fl::SweepGrid grid;
+  grid.workloads = {fl::WorkloadKind::kFashionLike};
+  grid.attacks = {attack_name};
+  grid.gars = fl::table1_defenses();
+  std::printf("workload %s | attack %s | %zu defenses, one sweep\n\n",
+              fl::workload_name(grid.workloads.front()).c_str(),
+              attack_name.c_str(), grid.gars.size());
 
-  fl::Trainer trainer(w.data, w.model_factory, w.config);
+  fl::SweepOptions opts;
+  opts.scale = fl::scale_from_env();
+  opts.capture_rounds = false;
+  const auto results = fl::run_sweep(grid.expand(), opts);
 
+  std::size_t failed = 0;
   TextTable table({"defense", "best acc (%)", "final acc (%)",
                    "honest kept", "malicious kept"});
   for (const auto& defense : fl::table1_defenses()) {
-    auto attack = fl::make_attack(attack_name);
-    const auto res = trainer.run(*attack, fl::make_aggregator(defense));
-    const bool has_selection = res.selection.rounds > 0;
-    table.add_row(
-        {defense, TextTable::fmt(res.best_accuracy),
-         TextTable::fmt(res.final_accuracy),
-         has_selection ? TextTable::fmt(res.selection.honest_rate, 3) : "-",
-         has_selection ? TextTable::fmt(res.selection.malicious_rate, 3)
-                       : "-"});
+    for (const auto& r : results) {
+      if (r.spec.gar != defense) continue;
+      if (!r.error.empty()) {
+        // e.g. a mistyped attack name: surface it instead of tabulating
+        // a plausible-looking row of zeros.
+        std::fprintf(stderr, "%s: %s\n", defense.c_str(), r.error.c_str());
+        ++failed;
+        continue;
+      }
+      const bool has_selection = r.honest_pass_rate >= 0.0;
+      table.add_row(
+          {defense, TextTable::fmt(r.best_accuracy),
+           TextTable::fmt(r.final_accuracy),
+           has_selection ? TextTable::fmt(r.honest_pass_rate, 3) : "-",
+           has_selection ? TextTable::fmt(r.malicious_pass_rate, 3) : "-"});
+    }
   }
   std::printf("%s", table.to_string().c_str());
-  return 0;
+  return failed > 0 ? 1 : 0;
 }

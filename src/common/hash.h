@@ -1,0 +1,52 @@
+#pragma once
+// Small deterministic hashing utilities shared by the RNG stream-splitting
+// machinery and the sweep engine's trace checksums. Everything here is a
+// pure function of its inputs — no platform, thread-count or
+// iteration-order dependence — so hashes are stable across runs and are
+// safe to commit in golden files.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace signguard::common {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// FNV-1a over raw bytes, resumable via the `state` parameter so a running
+// checksum can fold many buffers (e.g. one per round) into one value.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t state = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= p[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t state = kFnvOffsetBasis) {
+  return fnv1a64(s.data(), s.size(), state);
+}
+
+// Finalizing mix from the splitmix64 generator: a cheap bijective
+// scrambler used to turn structured keys (hashes, indices) into
+// well-distributed seeds for independent RNG streams.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The seed of stream `key` under root seed `root` — the single stream
+// derivation shared by Rng::stream and the sweep engine's per-scenario
+// seeds. Two splitmix64 rounds keep adjacent (root, key) pairs (the
+// common case: scenario grids) decorrelated.
+inline std::uint64_t stream_seed(std::uint64_t root, std::uint64_t key) {
+  return splitmix64(splitmix64(root) ^ key);
+}
+
+}  // namespace signguard::common

@@ -214,6 +214,8 @@ void parallel_chunks(
   ThreadPool::instance().run(total, fn);
 }
 
+bool in_parallel_region() { return t_in_pool; }
+
 void parallel_for(std::size_t total,
                   const std::function<void(std::size_t)>& fn) {
   parallel_chunks(total,

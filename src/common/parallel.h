@@ -37,4 +37,11 @@ void parallel_chunks(
 void parallel_for(std::size_t total,
                   const std::function<void(std::size_t)>& fn);
 
+// True while the calling thread is executing inside a parallel_chunks
+// worker. Nested parallel_chunks calls from such a context run inline on
+// the calling worker; outer coordinators (e.g. the sweep engine) and
+// per-worker scratch sizing (the trainer's model pool) use this to tell
+// the two regimes apart.
+bool in_parallel_region();
+
 }  // namespace signguard::common

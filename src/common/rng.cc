@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace signguard {
 
 double Rng::uniform(double lo, double hi) {
@@ -22,6 +24,10 @@ int Rng::randint(int lo, int hi) {
 bool Rng::bernoulli(double p) {
   std::bernoulli_distribution dist(p);
   return dist(engine_);
+}
+
+Rng Rng::stream(std::uint64_t root, std::uint64_t key) {
+  return Rng(common::stream_seed(root, key));
 }
 
 Rng Rng::split() {

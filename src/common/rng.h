@@ -35,6 +35,13 @@ class Rng {
   // affect this generator beyond the single draw used to seed it.
   Rng split();
 
+  // Stateless keyed stream splitting: the generator for stream `key`
+  // under root seed `root`. Unlike split(), no parent generator is
+  // consulted or advanced, so any number of streams can be derived in any
+  // order (or concurrently) and each depends only on (root, key) — the
+  // property the sweep engine needs for per-scenario determinism.
+  static Rng stream(std::uint64_t root, std::uint64_t key);
+
   // Fisher-Yates shuffle of an index container.
   void shuffle(std::span<std::size_t> items);
   void shuffle(std::span<int> items);

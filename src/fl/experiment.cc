@@ -63,8 +63,40 @@ std::size_t rounds_for(Scale s, std::size_t smoke, std::size_t def,
 
 }  // namespace
 
+std::string workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kMnistLike:
+      return "MNIST-like";
+    case WorkloadKind::kFashionLike:
+      return "Fashion-like";
+    case WorkloadKind::kCifarLike:
+      return "CIFAR-like";
+    case WorkloadKind::kAgNewsLike:
+      break;
+  }
+  return "AGNews-like";
+}
+
+WorkloadKind workload_kind_from_name(const std::string& name) {
+  for (const WorkloadKind kind : all_workloads())
+    if (workload_name(kind) == name) return kind;
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+const std::vector<WorkloadKind>& all_workloads() {
+  static const std::vector<WorkloadKind> kAll = {
+      WorkloadKind::kMnistLike, WorkloadKind::kFashionLike,
+      WorkloadKind::kCifarLike, WorkloadKind::kAgNewsLike};
+  return kAll;
+}
+
+std::string to_string(ModelProfile p) {
+  return p == ModelProfile::kGrid ? "grid" : "paper";
+}
+
 Workload make_workload(WorkloadKind kind, ModelProfile profile, Scale scale) {
   Workload w;
+  w.name = workload_name(kind);
   w.config.n_clients = 50;
   w.config.byzantine_frac = 0.2;
   w.config.batch_size = 8;
@@ -75,7 +107,6 @@ Workload make_workload(WorkloadKind kind, ModelProfile profile, Scale scale) {
 
   switch (kind) {
     case WorkloadKind::kMnistLike: {
-      w.name = "MNIST-like";
       w.data = data::make_synth_image(data::mnist_like_config());
       if (profile == ModelProfile::kGrid) {
         w.model_factory = [](std::uint64_t seed) {
@@ -89,7 +120,6 @@ Workload make_workload(WorkloadKind kind, ModelProfile profile, Scale scale) {
       break;
     }
     case WorkloadKind::kFashionLike: {
-      w.name = "Fashion-like";
       w.data = data::make_synth_image(data::fashion_like_config());
       if (profile == ModelProfile::kGrid) {
         w.model_factory = [](std::uint64_t seed) {
@@ -103,7 +133,6 @@ Workload make_workload(WorkloadKind kind, ModelProfile profile, Scale scale) {
       break;
     }
     case WorkloadKind::kCifarLike: {
-      w.name = "CIFAR-like";
       w.data = data::make_synth_color(data::SynthColorConfig{});
       if (profile == ModelProfile::kGrid) {
         w.model_factory = [](std::uint64_t seed) {
@@ -117,7 +146,6 @@ Workload make_workload(WorkloadKind kind, ModelProfile profile, Scale scale) {
       break;
     }
     case WorkloadKind::kAgNewsLike: {
-      w.name = "AGNews-like";
       w.data = data::make_synth_text(data::SynthTextConfig{});
       w.config.lr = 0.2;  // bag/RNN text models train well a bit hotter
       if (profile == ModelProfile::kGrid) {

@@ -34,6 +34,14 @@ enum class WorkloadKind { kMnistLike, kFashionLike, kCifarLike, kAgNewsLike };
 // by the focused experiments (Fig. 2/5, Table II/III, examples).
 enum class ModelProfile { kGrid, kPaper };
 
+// Workload naming without building the (expensive) dataset: the same
+// names make_workload() stamps into Workload::name.
+std::string workload_name(WorkloadKind kind);
+WorkloadKind workload_kind_from_name(const std::string& name);  // throws
+const std::vector<WorkloadKind>& all_workloads();
+
+std::string to_string(ModelProfile p);
+
 struct Workload {
   std::string name;
   data::TrainTest data;

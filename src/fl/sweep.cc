@@ -1,0 +1,389 @@
+#include "fl/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "fl/trainer.h"
+
+namespace signguard::fl {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+// JSON number formatting: %.12g round-trips every value this engine
+// emits (accuracies, rates, probabilities) and is locale-independent.
+std::string json_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string json_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "\"0x%016llx\"",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      (out += '\\') += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters (error strings come from arbitrary
+      // exception::what()) must be escaped for the line to stay JSON.
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out += '"';
+}
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::id() const {
+  std::string s = workload_name(workload) + "/" + to_string(profile) +
+                  "/a=" + attack + "/g=" + gar;
+  s += "/part=" + (skew < 0.0 ? std::string("iid") : "s" + num(skew));
+  s += "/byz=" + num(byzantine_frac);
+  s += "/p=" + num(participation);
+  s += "/drop=" + num(dropout_prob);
+  s += "/strag=" + num(straggler_prob);
+  s += "/r=" + std::to_string(rounds);
+  s += "/n=" + std::to_string(n_clients);
+  s += "/seed=" + std::to_string(seed);
+  return s;
+}
+
+std::uint64_t ScenarioSpec::rng_seed() const {
+  // The engine's streams are exactly Rng::stream(seed, fnv1a64(id())):
+  // root = the user-facing sweep seed, key = the scenario's identity.
+  return common::stream_seed(seed, common::fnv1a64(id()));
+}
+
+std::size_t SweepGrid::size() const {
+  return workloads.size() * attacks.size() * gars.size() * skews.size() *
+         byzantine_fracs.size() * participations.size() *
+         dropout_probs.size() * straggler_probs.size();
+}
+
+std::vector<ScenarioSpec> SweepGrid::expand() const {
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(size());
+  for (const auto workload : workloads)
+    for (const auto& attack : attacks)
+      for (const auto& gar : gars)
+        for (const double skew : skews)
+          for (const double byz : byzantine_fracs)
+            for (const double part : participations)
+              for (const double drop : dropout_probs)
+                for (const double strag : straggler_probs) {
+                  ScenarioSpec s;
+                  s.workload = workload;
+                  s.profile = profile;
+                  s.attack = attack;
+                  s.gar = gar;
+                  s.skew = skew;
+                  s.byzantine_frac = byz;
+                  s.participation = part;
+                  s.dropout_prob = drop;
+                  s.straggler_prob = strag;
+                  s.rounds = rounds;
+                  s.n_clients = n_clients;
+                  s.seed = seed;
+                  specs.push_back(std::move(s));
+                }
+  return specs;
+}
+
+namespace {
+
+// Folds one round's deterministic accounting into the running trace
+// checksum.
+std::uint64_t fold_round(std::uint64_t state, const RoundTrace& t) {
+  const std::uint64_t words[] = {t.round,
+                                 t.aggregate_checksum,
+                                 t.participants,
+                                 t.byzantine,
+                                 t.dropped,
+                                 t.stragglers,
+                                 t.selected,
+                                 t.skipped ? 1ULL : 0ULL};
+  return common::fnv1a64(words, sizeof words, state);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
+                            const SweepOptions& opts) {
+  ScenarioResult r;
+  r.spec = spec;
+
+  TrainerConfig cfg = w.config;
+  if (spec.rounds > 0) cfg.rounds = spec.rounds;
+  if (spec.n_clients > 0) cfg.n_clients = spec.n_clients;
+  cfg.byzantine_frac = spec.byzantine_frac;
+  cfg.participation = spec.participation;
+  cfg.dropout_prob = spec.dropout_prob;
+  cfg.straggler_prob = spec.straggler_prob;
+  cfg.noniid = spec.skew >= 0.0;
+  if (cfg.noniid) cfg.noniid_s = spec.skew;
+  cfg.seed = spec.rng_seed();
+  r.resolved_rounds = cfg.rounds;
+  r.resolved_clients = cfg.n_clients;
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  const double cpu0 = thread_cpu_seconds();
+  try {
+    Trainer trainer(w.data, w.model_factory, cfg);
+    auto attack = make_attack(spec.attack);
+    auto gar =
+        make_aggregator(spec.gar, common::splitmix64(cfg.seed ^ 0x6a5ULL));
+
+    std::uint64_t fold = common::kFnvOffsetBasis;
+    const auto observer = [&](const RoundObservation& obs) {
+      RoundTrace t;
+      t.round = obs.round;
+      if (!obs.skipped && !obs.aggregate.empty())
+        t.aggregate_checksum = common::fnv1a64(
+            obs.aggregate.data(), obs.aggregate.size() * sizeof(float));
+      t.participants = obs.participants;
+      t.byzantine = obs.byzantine;
+      t.dropped = obs.dropped;
+      t.stragglers = obs.stragglers;
+      t.selected = obs.selected.size();
+      t.test_accuracy = obs.test_accuracy;
+      t.skipped = obs.skipped;
+      fold = fold_round(fold, t);
+      if (t.skipped) ++r.skipped_rounds;
+      r.dropped_total += t.dropped;
+      r.straggler_total += t.stragglers;
+      if (opts.capture_rounds) r.rounds.push_back(std::move(t));
+    };
+
+    const TrainingResult res = trainer.run(*attack, std::move(gar), observer);
+    r.final_accuracy = res.final_accuracy;
+    r.best_accuracy = res.best_accuracy;
+    if (res.selection.rounds > 0) {
+      r.honest_pass_rate = res.selection.honest_rate;
+      r.malicious_pass_rate = res.selection.malicious_rate;
+    }
+    r.trace_checksum = fold;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  r.cpu_seconds = thread_cpu_seconds() - cpu0;
+  return r;
+}
+
+}  // namespace
+
+std::vector<ScenarioResult> run_sweep(std::vector<ScenarioSpec> specs,
+                                      const SweepOptions& opts) {
+  // Canonical order: the result vector and the streamed JSONL are sorted
+  // by scenario id, so output is independent of submission order. Ids
+  // are built once per spec (decorate-sort), not per comparison.
+  {
+    std::vector<std::pair<std::string, ScenarioSpec>> keyed;
+    keyed.reserve(specs.size());
+    for (auto& s : specs) keyed.emplace_back(s.id(), std::move(s));
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    specs.clear();
+    for (auto& kv : keyed) specs.push_back(std::move(kv.second));
+  }
+  const std::size_t n = specs.size();
+  std::vector<ScenarioResult> results(n);
+  if (n == 0) return results;
+
+  // Datasets are shared: one Workload per distinct (kind, profile),
+  // built sequentially before the parallel region.
+  std::map<std::pair<int, int>, Workload> workloads;
+  for (const auto& s : specs) {
+    const auto key = std::make_pair(int(s.workload), int(s.profile));
+    if (!workloads.count(key))
+      workloads.emplace(key, make_workload(s.workload, s.profile, opts.scale));
+  }
+
+  std::mutex emit_mu;
+  std::vector<char> finished(n, 0);
+  std::size_t emitted = 0, done = 0;
+  const auto finish = [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(emit_mu);
+    finished[i] = 1;
+    ++done;
+    if (opts.progress) opts.progress(done, n, results[i]);
+    // Flush the completed prefix: JSONL streams in canonical order.
+    while (emitted < n && finished[emitted]) {
+      if (opts.jsonl)
+        write_jsonl_line(*opts.jsonl, results[emitted], opts.include_timing);
+      ++emitted;
+    }
+  };
+  const auto run_one = [&](std::size_t i) {
+    const auto& s = specs[i];
+    const auto& w =
+        workloads.at(std::make_pair(int(s.workload), int(s.profile)));
+    results[i] = run_scenario(s, w, opts);
+    finish(i);
+  };
+
+  if (n == 1) {
+    // A single scenario keeps the pool for its own nested kernels instead
+    // of being pinned to one worker.
+    run_one(0);
+    return results;
+  }
+
+  // One lane per pool worker; lanes drain a shared atomic queue so long
+  // and short scenarios balance. Each scenario runs entirely inside its
+  // lane (nested parallelism is inline), so scheduling cannot affect the
+  // results.
+  std::atomic<std::size_t> next{0};
+  common::parallel_chunks(
+      std::min(common::thread_count(), n),
+      [&](std::size_t, std::size_t, std::size_t) {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+          run_one(i);
+      });
+  return results;
+}
+
+void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
+                      bool include_timing) {
+  const ScenarioSpec& s = r.spec;
+  std::string line = "{";
+  line += "\"id\":" + json_str(s.id());
+  line += ",\"workload\":" + json_str(workload_name(s.workload));
+  line += ",\"profile\":" + json_str(to_string(s.profile));
+  line += ",\"attack\":" + json_str(s.attack);
+  line += ",\"gar\":" + json_str(s.gar);
+  line += ",\"partition\":";
+  line += s.skew < 0.0 ? "\"iid\"" : "\"noniid\"";
+  if (s.skew >= 0.0) line += ",\"skew\":" + json_num(s.skew);
+  line += ",\"byzantine_frac\":" + json_num(s.byzantine_frac);
+  line += ",\"participation\":" + json_num(s.participation);
+  line += ",\"dropout\":" + json_num(s.dropout_prob);
+  line += ",\"straggler\":" + json_num(s.straggler_prob);
+  line += ",\"rounds\":" + std::to_string(r.resolved_rounds);
+  line += ",\"n_clients\":" + std::to_string(r.resolved_clients);
+  line += ",\"seed\":" + std::to_string(s.seed);
+  line += ",\"error\":";
+  line += r.error.empty() ? "null" : json_str(r.error);
+  line += ",\"final_accuracy\":" + json_num(r.final_accuracy);
+  line += ",\"best_accuracy\":" + json_num(r.best_accuracy);
+  line += ",\"honest_pass_rate\":";
+  line += r.honest_pass_rate < 0.0 ? "null" : json_num(r.honest_pass_rate);
+  line += ",\"malicious_pass_rate\":";
+  line +=
+      r.malicious_pass_rate < 0.0 ? "null" : json_num(r.malicious_pass_rate);
+  line += ",\"skipped_rounds\":" + std::to_string(r.skipped_rounds);
+  line += ",\"dropped\":" + std::to_string(r.dropped_total);
+  line += ",\"stragglers\":" + std::to_string(r.straggler_total);
+  line += ",\"trace_checksum\":" + json_hex(r.trace_checksum);
+  if (!r.rounds.empty()) {
+    line += ",\"round_checksums\":[";
+    for (std::size_t i = 0; i < r.rounds.size(); ++i) {
+      if (i > 0) line += ',';
+      line += json_hex(r.rounds[i].aggregate_checksum);
+    }
+    line += ']';
+  }
+  if (include_timing) {
+    line += ",\"wall_s\":" + json_num(r.wall_seconds);
+    line += ",\"cpu_s\":" + json_num(r.cpu_seconds);
+  }
+  line += "}\n";
+  os << line << std::flush;
+}
+
+std::string summary_table(const std::vector<ScenarioResult>& results) {
+  // Group key: every grid dimension except attack and GAR.
+  const auto group_of = [](const ScenarioResult& r) {
+    const ScenarioSpec& s = r.spec;
+    std::string g = workload_name(s.workload) + " (" + to_string(s.profile);
+    g += s.skew < 0.0 ? ", iid" : ", noniid s=" + num(s.skew);
+    g += ", byz=" + num(s.byzantine_frac);
+    if (s.participation < 1.0) g += ", p=" + num(s.participation);
+    if (s.dropout_prob > 0.0) g += ", drop=" + num(s.dropout_prob);
+    if (s.straggler_prob > 0.0) g += ", strag=" + num(s.straggler_prob);
+    g += ", rounds=" + std::to_string(r.resolved_rounds);
+    g += ", n=" + std::to_string(r.resolved_clients);
+    g += ", seed=" + std::to_string(s.seed) + ")";
+    return g;
+  };
+
+  // First-appearance orders keep the output aligned with the canonical
+  // result order.
+  std::vector<std::string> groups;
+  std::map<std::string, std::vector<const ScenarioResult*>> by_group;
+  for (const auto& r : results) {
+    const std::string g = group_of(r);
+    if (!by_group.count(g)) groups.push_back(g);
+    by_group[g].push_back(&r);
+  }
+
+  std::string out;
+  for (const auto& g : groups) {
+    const auto& members = by_group[g];
+    std::vector<std::string> attacks, gars;
+    for (const auto* r : members) {
+      if (std::find(attacks.begin(), attacks.end(), r->spec.attack) ==
+          attacks.end())
+        attacks.push_back(r->spec.attack);
+      if (std::find(gars.begin(), gars.end(), r->spec.gar) == gars.end())
+        gars.push_back(r->spec.gar);
+    }
+    std::vector<std::string> header = {"GAR"};
+    header.insert(header.end(), attacks.begin(), attacks.end());
+    TextTable table(header);
+    for (const auto& gar : gars) {
+      std::vector<std::string> row = {gar};
+      for (const auto& attack : attacks) {
+        std::string cell = "-";
+        for (const auto* r : members) {
+          if (r->spec.gar != gar || r->spec.attack != attack) continue;
+          cell = r->error.empty() ? TextTable::fmt(r->best_accuracy) : "ERR";
+          break;
+        }
+        row.push_back(std::move(cell));
+      }
+      table.add_row(std::move(row));
+    }
+    out += "[" + g + "]\n" + table.to_string() + "\n";
+  }
+  return out;
+}
+
+}  // namespace signguard::fl

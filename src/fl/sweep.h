@@ -1,0 +1,148 @@
+#pragma once
+// Parallel scenario-sweep engine: the paper's evaluation is a grid
+// (workload × attack × GAR × partition skew × Byzantine fraction ×
+// participation — Tables I-III, Figs. 4-6), and this subsystem runs any
+// such grid concurrently on the common::parallel pool.
+//
+// Determinism contract: scenarios are sorted into a canonical order (by
+// ScenarioSpec::id()) and each scenario draws every random decision from
+// its own stream, derived statelessly from (id, seed) via Rng::stream
+// semantics. A scenario occupies exactly one pool worker — the trainer's
+// nested parallel_chunks calls run inline (common::in_parallel_region) —
+// so every ScenarioResult, and the streamed JSONL, is bit-identical for
+// any SIGNGUARD_THREADS value and any submission or completion order.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/experiment.h"
+
+namespace signguard::fl {
+
+// Partition-skew value meaning IID; any value in [0, 1] means the §VI-B
+// sort-and-partition scheme with that IID fraction s.
+inline constexpr double kIidSkew = -1.0;
+
+// One cell of the evaluation grid. Fields left at their "default"
+// sentinel (rounds == 0, n_clients == 0) resolve to the workload's
+// scale-dependent config at run time.
+struct ScenarioSpec {
+  WorkloadKind workload = WorkloadKind::kMnistLike;
+  ModelProfile profile = ModelProfile::kGrid;
+  std::string attack = "NoAttack";   // make_attack name
+  std::string gar = "Mean";          // make_aggregator name
+  double skew = kIidSkew;            // kIidSkew = IID, else non-IID s
+  double byzantine_frac = 0.2;
+  double participation = 1.0;
+  double dropout_prob = 0.0;         // failure injection, per client/round
+  double straggler_prob = 0.0;
+  std::size_t rounds = 0;            // 0 = workload default for the scale
+  std::size_t n_clients = 0;         // 0 = workload default
+  std::uint64_t seed = 7;
+
+  // Canonical key: total order over scenarios and the root of the
+  // scenario's RNG stream. Two specs with equal ids are the same
+  // experiment.
+  std::string id() const;
+
+  // Stateless per-scenario stream root: depends only on (id(), seed), so
+  // a scenario's randomness is unaffected by what else is in the sweep.
+  std::uint64_t rng_seed() const;
+};
+
+// Declarative cartesian grid; expand() emits one ScenarioSpec per
+// combination. Explicit scenario lists can skip the grid and go straight
+// to run_sweep.
+struct SweepGrid {
+  std::vector<WorkloadKind> workloads = {WorkloadKind::kMnistLike};
+  ModelProfile profile = ModelProfile::kGrid;
+  std::vector<std::string> attacks = {"NoAttack"};
+  std::vector<std::string> gars = {"Mean"};
+  std::vector<double> skews = {kIidSkew};
+  std::vector<double> byzantine_fracs = {0.2};
+  std::vector<double> participations = {1.0};
+  std::vector<double> dropout_probs = {0.0};
+  std::vector<double> straggler_probs = {0.0};
+  std::size_t rounds = 0;
+  std::size_t n_clients = 0;
+  std::uint64_t seed = 7;
+
+  std::size_t size() const;  // product of the dimension sizes
+  std::vector<ScenarioSpec> expand() const;
+};
+
+// Per-round trace record captured through the trainer's RoundObservation
+// hook.
+struct RoundTrace {
+  std::size_t round = 0;
+  std::uint64_t aggregate_checksum = 0;  // FNV-1a over the aggregate's bits
+  std::size_t participants = 0;
+  std::size_t byzantine = 0;
+  std::size_t dropped = 0;
+  std::size_t stragglers = 0;
+  std::size_t selected = 0;              // trusted-set size (0: non-selecting)
+  std::optional<double> test_accuracy;
+  bool skipped = false;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::size_t resolved_rounds = 0;    // after scale/default resolution
+  std::size_t resolved_clients = 0;
+  std::string error;                  // non-empty: the scenario threw
+
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  // GAR filter pass-rates (SignGuard's S' admission, Krum's selection,
+  // ...); negative when the rule reports no selection.
+  double honest_pass_rate = -1.0;
+  double malicious_pass_rate = -1.0;
+
+  // Folds every round's aggregate checksum and participation accounting
+  // into one value — the golden-trace regression signal.
+  std::uint64_t trace_checksum = 0;
+  std::size_t skipped_rounds = 0;
+  std::size_t dropped_total = 0;
+  std::size_t straggler_total = 0;
+  std::vector<RoundTrace> rounds;     // empty unless capture_rounds
+
+  // Non-deterministic timing; excluded from JSONL unless include_timing.
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+struct SweepOptions {
+  Scale scale = scale_from_env();
+  bool capture_rounds = true;   // keep per-round traces in the results
+  bool include_timing = false;  // add wall/cpu fields to the JSONL
+  // Stream results as JSONL, one line per scenario, flushed in canonical
+  // order as soon as every earlier scenario has finished.
+  std::ostream* jsonl = nullptr;
+  // Completion callback (any order, serialized under the engine's lock):
+  // scenarios finished so far, total, and the result that just landed.
+  std::function<void(std::size_t done, std::size_t total,
+                     const ScenarioResult&)>
+      progress;
+};
+
+// Runs every scenario concurrently on the common::parallel pool and
+// returns the results in canonical (ScenarioSpec::id) order. A scenario
+// that throws — degenerate config, misbehaving attack — is reported via
+// ScenarioResult::error instead of aborting the sweep.
+std::vector<ScenarioResult> run_sweep(std::vector<ScenarioSpec> specs,
+                                      const SweepOptions& opts = {});
+
+// One JSONL line for one result (schema: docs/ARCHITECTURE.md). All
+// fields except the optional timing pair are deterministic.
+void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
+                      bool include_timing = false);
+
+// Table-I-style summary: one text table per scenario group (everything
+// but attack and GAR), GAR rows × attack columns, best-accuracy cells.
+std::string summary_table(const std::vector<ScenarioResult>& results);
+
+}  // namespace signguard::fl

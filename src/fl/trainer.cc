@@ -1,7 +1,6 @@
 #include "fl/trainer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
@@ -17,8 +16,24 @@ namespace signguard::fl {
 Trainer::Trainer(const data::TrainTest& data, ModelFactory model_factory,
                  TrainerConfig cfg)
     : data_(data), model_factory_(std::move(model_factory)), cfg_(cfg) {
-  assert(cfg_.n_clients > 0);
-  assert(cfg_.byzantine_frac >= 0.0 && cfg_.byzantine_frac < 0.5);
+  // Loud validation in every build type: a degenerate configuration must
+  // fail at construction, not crash (or silently misbehave) mid-round.
+  if (cfg_.n_clients == 0)
+    throw std::invalid_argument("TrainerConfig: n_clients must be > 0");
+  if (!(cfg_.byzantine_frac >= 0.0 && cfg_.byzantine_frac < 0.5))
+    throw std::invalid_argument(
+        "TrainerConfig: byzantine_frac must be in [0, 0.5); a Byzantine "
+        "majority (up to m == n) is outside the paper's threat model");
+  if (!(cfg_.participation > 0.0 && cfg_.participation <= 1.0))
+    throw std::invalid_argument(
+        "TrainerConfig: participation must be in (0, 1]; a round that "
+        "samples zero clients cannot make progress");
+  if (!(cfg_.dropout_prob >= 0.0 && cfg_.dropout_prob <= 1.0) ||
+      !(cfg_.straggler_prob >= 0.0 && cfg_.straggler_prob <= 1.0))
+    throw std::invalid_argument(
+        "TrainerConfig: dropout_prob / straggler_prob must be in [0, 1]");
+  if (cfg_.rounds == 0)
+    throw std::invalid_argument("TrainerConfig: rounds must be > 0");
   n_byz_ = static_cast<std::size_t>(
       std::round(cfg_.byzantine_frac * double(cfg_.n_clients)));
 }
@@ -64,14 +79,18 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   const std::size_t n = cfg_.n_clients;
   const std::size_t m = n_byz_;
   Rng participation_rng = rng.split();
+  Rng failure_rng = rng.split();
 
   TrainingResult result;
   // Round buffers, allocated once and reused: the m_round Byzantine rows
   // lead (so selection accounting can attribute them), benign rows
   // follow. byz_honest holds what the Byzantine clients would honestly
-  // send — the attack's raw material.
+  // send — the attack's raw material. late_grads receives straggler
+  // gradients: computed (the client's state advances) but discarded
+  // before aggregation.
   common::GradientMatrix round_grads;
   common::GradientMatrix byz_honest;
+  common::GradientMatrix late_grads;
 
   for (std::size_t round = 0; round < cfg_.rounds; ++round) {
     attack.begin_round(round, attack_rng);
@@ -92,7 +111,34 @@ TrainingResult Trainer::run(attacks::Attack& attack,
            participation_rng.sample_without_replacement(n, k)) {
         (i < m ? byz_sel : benign_sel).push_back(i);
       }
-      if (benign_sel.empty()) continue;  // no honest gradient this round
+    }
+
+    // Failure injection, drawn sequentially from a dedicated stream so
+    // the outcome is a pure function of the seed. A dropped client misses
+    // the round entirely; a benign straggler still trains (into
+    // late_grads) but its update is discarded; a Byzantine straggler's
+    // crafted update simply never reaches the server.
+    std::size_t n_dropped = 0, n_straggler = 0;
+    std::vector<std::size_t> benign_late;
+    if (cfg_.dropout_prob > 0.0 || cfg_.straggler_prob > 0.0) {
+      auto sift = [&](std::vector<std::size_t>& sel, bool benign) {
+        std::vector<std::size_t> active;
+        for (const std::size_t i : sel) {
+          if (cfg_.dropout_prob > 0.0 &&
+              failure_rng.bernoulli(cfg_.dropout_prob)) {
+            ++n_dropped;
+          } else if (cfg_.straggler_prob > 0.0 &&
+                     failure_rng.bernoulli(cfg_.straggler_prob)) {
+            ++n_straggler;
+            if (benign) benign_late.push_back(i);
+          } else {
+            active.push_back(i);
+          }
+        }
+        sel = std::move(active);
+      };
+      sift(byz_sel, /*benign=*/false);
+      sift(benign_sel, /*benign=*/true);
     }
     const std::size_t n_round = byz_sel.size() + benign_sel.size();
     const std::size_t m_round = byz_sel.size();
@@ -100,32 +146,58 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     // Local training: every participating client writes its gradient
     // straight into a matrix row, in parallel. Benign clients fill
     // round_grads rows [m_round, n_round); Byzantine clients fill their
-    // honest-behaviour rows in byz_honest. Only the workers that can
-    // receive a non-empty chunk (at most n_round of them) need a synced
-    // scratch model.
-    const std::size_t active_models =
-        std::min(common::thread_count(), n_round);
+    // honest-behaviour rows in byz_honest; benign stragglers fill
+    // late_grads. Only the workers that can receive a non-empty chunk
+    // need a synced scratch model — and inside an outer parallel region
+    // (the sweep engine) the nested loop runs inline on one worker, so a
+    // single model suffices.
+    const std::size_t n_work = n_round + benign_late.size();
+    const std::size_t active_models = std::min(
+        common::in_parallel_region() ? 1 : common::thread_count(), n_work);
     ensure_models(active_models);
     for (std::size_t w = 0; w < active_models; ++w)
       worker_models[w].set_parameters(server.parameters());
     round_grads.resize(n_round, dim);
     byz_honest.resize(m_round, dim);
+    late_grads.resize(benign_late.size(), dim);
     common::parallel_chunks(
-        n_round, [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        n_work, [&](std::size_t begin, std::size_t end, std::size_t worker) {
           nn::Model& wm = worker_models[worker];
           for (std::size_t t = begin; t < end; ++t) {
             if (t < m_round) {
               clients[byz_sel[t]].compute_gradient_into(
                   byz_honest.row(t), wm, cfg_.batch_size, cfg_.weight_decay,
                   flip, cfg_.client_momentum);
-            } else {
+            } else if (t < n_round) {
               const std::size_t b = t - m_round;
               clients[benign_sel[b]].compute_gradient_into(
                   round_grads.row(t), wm, cfg_.batch_size, cfg_.weight_decay,
                   /*flip_labels=*/false, cfg_.client_momentum);
+            } else {
+              const std::size_t s = t - n_round;
+              clients[benign_late[s]].compute_gradient_into(
+                  late_grads.row(s), wm, cfg_.batch_size, cfg_.weight_decay,
+                  /*flip_labels=*/false, cfg_.client_momentum);
             }
           }
         });
+
+    if (benign_sel.empty()) {
+      // No honest gradient reached the server: skip aggregation. Local
+      // training above still ran for every active / straggling client, so
+      // a client's state evolution depends only on its own fate, never on
+      // what happened to the others this round.
+      if (observer) {
+        RoundObservation obs;
+        obs.round = round;
+        obs.attack_name = attack.name();
+        obs.dropped = n_dropped;
+        obs.stragglers = n_straggler;
+        obs.skipped = true;
+        observer(obs);
+      }
+      continue;
+    }
 
     // The attacker observes the benign rows (and the honest Byzantine
     // gradients) as borrowed views of the round buffers — no copies.
@@ -166,7 +238,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     gctx.assumed_byzantine = m_round;
     gctx.round = round;
     gctx.rng = &gar_rng;
-    server.step(round_grads, gctx);
+    const std::vector<float>& aggregate = server.step(round_grads, gctx);
 
     // Selection accounting (only meaningful for selecting rules).
     const auto selected = server.gar().last_selected();
@@ -177,6 +249,12 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     RoundObservation obs;
     obs.round = round;
     obs.attack_name = attack.name();
+    obs.aggregate = aggregate;
+    obs.selected = selected;
+    obs.participants = n_round;
+    obs.byzantine = m_round;
+    obs.dropped = n_dropped;
+    obs.stragglers = n_straggler;
     if ((round + 1) % cfg_.eval_every == 0 || round + 1 == cfg_.rounds) {
       model.set_parameters(server.parameters());
       const double acc = evaluate_accuracy(model, data_.test, 256,

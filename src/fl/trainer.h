@@ -9,6 +9,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 
 #include "aggregators/aggregator.h"
 #include "attacks/attack.h"
@@ -36,24 +38,49 @@ struct TrainerConfig {
   bool noniid = false;
   double noniid_s = 0.5;            // §VI-B skewness parameter
   // Fraction of clients sampled each round (§IV-A partial participation;
-  // 1.0 = the paper's default synchronous full participation).
+  // 1.0 = the paper's default synchronous full participation). Must be in
+  // (0, 1]; when the sampled count rounds to zero it is clamped to one
+  // client.
   double participation = 1.0;
+  // Failure injection (per selected client, per round, from a dedicated
+  // RNG stream). dropout: the client misses the round entirely (no local
+  // work, no state change). straggler: the client trains — its batch
+  // sampling, momentum buffer and loss stats advance — but the update
+  // arrives too late and is discarded before aggregation.
+  double dropout_prob = 0.0;
+  double straggler_prob = 0.0;
   std::uint64_t seed = 7;
 };
 
 using ModelFactory = std::function<nn::Model(std::uint64_t seed)>;
 
-// Per-round observer hook (round, test accuracy if evaluated this round,
-// attack name active this round) — used by the Fig. 5 curve bench.
+// Per-round observer hook — used by the Fig. 5 curve bench and the sweep
+// engine's trace capture. The spans borrow the trainer's round buffers
+// and are only valid for the duration of the callback.
 struct RoundObservation {
   std::size_t round = 0;
   std::optional<double> test_accuracy;
   std::string attack_name;
+  // Trace capture: the post-GAR, pre-momentum global aggregate for this
+  // round (empty when the round was skipped for lack of honest
+  // participants), the GAR's trusted set when the rule reports one, and
+  // the round's participation / failure accounting.
+  std::span<const float> aggregate;
+  std::span<const std::size_t> selected;
+  std::size_t participants = 0;  // gradients that reached the aggregator
+  std::size_t byzantine = 0;     // Byzantine gradients among them
+  std::size_t dropped = 0;       // clients lost to dropout injection
+  std::size_t stragglers = 0;    // clients whose update arrived too late
+  bool skipped = false;          // no honest participant -> no aggregation
 };
 using RoundObserver = std::function<void(const RoundObservation&)>;
 
 class Trainer {
  public:
+  // Throws std::invalid_argument for degenerate configurations: zero
+  // clients, byzantine_frac outside [0, 0.5) (a Byzantine majority — in
+  // particular m == n — is unsupported), participation outside (0, 1],
+  // or failure probabilities outside [0, 1].
   Trainer(const data::TrainTest& data, ModelFactory model_factory,
           TrainerConfig cfg);
 

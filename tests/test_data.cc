@@ -178,6 +178,72 @@ TEST_P(NoniidSkewTest, SkewIncreasesAsSFalls) {
 INSTANTIATE_TEST_SUITE_P(SkewLevels, NoniidSkewTest,
                          ::testing::Values(1.0, 0.8, 0.5, 0.3, 0.0));
 
+// Property: every partitioner assigns every sample index exactly once,
+// to exactly the requested number of shards, for any (seed, client
+// count, sample count) — including counts that do not divide evenly.
+TEST(IidPartition, EveryIndexAssignedExactlyOnceAcrossConfigs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const std::size_t n_clients : {1u, 3u, 7u, 16u}) {
+      for (const std::size_t n_samples : {16u, 50u, 101u}) {
+        Rng rng(seed);
+        const auto parts = iid_partition(n_samples, n_clients, rng);
+        ASSERT_EQ(parts.size(), n_clients);
+        std::vector<std::size_t> all;
+        for (const auto& p : parts) {
+          all.insert(all.end(), p.begin(), p.end());
+          // Shard-size invariant: an even split within one sample.
+          EXPECT_GE(p.size(), n_samples / n_clients);
+          EXPECT_LE(p.size(), n_samples / n_clients + 1);
+        }
+        std::sort(all.begin(), all.end());
+        ASSERT_EQ(all.size(), n_samples);
+        for (std::size_t i = 0; i < all.size(); ++i)
+          ASSERT_EQ(all[i], i) << "seed=" << seed << " n=" << n_clients;
+      }
+    }
+  }
+}
+
+TEST(NoniidPartition, EveryIndexAssignedExactlyOnceAcrossSkews) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 30;
+  cfg.test_per_class = 2;
+  const TrainTest tt = make_synth_image(cfg);
+  for (const std::uint64_t seed : {4u, 9u}) {
+    for (const std::size_t n_clients : {2u, 5u, 9u}) {
+      for (const double s : {0.0, 0.3, 0.7, 1.0}) {
+        Rng rng(seed);
+        const auto parts = noniid_partition(tt.train, n_clients, s, rng);
+        ASSERT_EQ(parts.size(), n_clients);
+        std::vector<std::size_t> all;
+        for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+        std::sort(all.begin(), all.end());
+        ASSERT_EQ(all.size(), tt.train.size())
+            << "seed=" << seed << " n=" << n_clients << " s=" << s;
+        for (std::size_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+      }
+    }
+  }
+}
+
+// Property: s = 1 means "all data spread IID", so the non-IID
+// partitioner must produce the exact same shards as the IID partitioner
+// from the same RNG state — for multiple seeds and client counts.
+TEST(NoniidPartition, SkewOneIsExactlyIid) {
+  SynthImageConfig cfg;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 2;
+  const TrainTest tt = make_synth_image(cfg);
+  for (const std::uint64_t seed : {3u, 9u, 17u}) {
+    for (const std::size_t n_clients : {4u, 10u}) {
+      Rng a(seed), b(seed);
+      const auto noniid = noniid_partition(tt.train, n_clients, 1.0, a);
+      const auto iid = iid_partition(tt.train.size(), n_clients, b);
+      EXPECT_EQ(noniid, iid) << "seed=" << seed << " n=" << n_clients;
+    }
+  }
+}
+
 TEST(NoniidPartition, SEqualOneMatchesIidBalance) {
   SynthImageConfig cfg;
   cfg.train_per_class = 50;

@@ -260,6 +260,136 @@ TEST(Trainer, ZeroByzantineFraction) {
   EXPECT_GT(res.best_accuracy, 15.0);
 }
 
+// Degenerate configurations must fail loudly at construction (or clamp,
+// for the sampled-participant count) instead of crashing mid-round.
+TEST(Trainer, DegenerateConfigsThrowAtConstruction) {
+  const auto tt = tiny_data();
+  const auto expect_throws = [&](TrainerConfig cfg) {
+    EXPECT_THROW(Trainer(tt, tiny_model(), cfg), std::invalid_argument);
+  };
+  auto cfg = tiny_config();
+  cfg.n_clients = 0;
+  expect_throws(cfg);
+
+  cfg = tiny_config();
+  cfg.byzantine_frac = 0.5;  // Byzantine majority: m can reach n
+  expect_throws(cfg);
+  cfg.byzantine_frac = 1.0;  // would round to m == n
+  expect_throws(cfg);
+  cfg.byzantine_frac = -0.1;
+  expect_throws(cfg);
+
+  cfg = tiny_config();
+  cfg.participation = 0.0;  // would sample zero clients
+  expect_throws(cfg);
+  cfg.participation = 1.5;
+  expect_throws(cfg);
+
+  cfg = tiny_config();
+  cfg.dropout_prob = 1.5;
+  expect_throws(cfg);
+  cfg = tiny_config();
+  cfg.straggler_prob = -0.5;
+  expect_throws(cfg);
+
+  cfg = tiny_config();
+  cfg.rounds = 0;
+  expect_throws(cfg);
+}
+
+TEST(Trainer, ByzantineFracRoundingToZeroStillRuns) {
+  const auto tt = tiny_data();
+  auto cfg = tiny_config();
+  cfg.n_clients = 10;
+  cfg.byzantine_frac = 0.04;  // rounds to m = 0
+  cfg.rounds = 6;
+  Trainer trainer(tt, tiny_model(), cfg);
+  EXPECT_EQ(trainer.n_byzantine(), 0u);
+  attacks::SignFlipAttack flip;  // nothing to corrupt; must be a no-op
+  const auto res = trainer.run(flip, std::make_unique<agg::MeanAggregator>());
+  EXPECT_GT(res.best_accuracy, 10.0);
+}
+
+TEST(Trainer, TinyParticipationClampsToOneClient) {
+  const auto tt = tiny_data();
+  auto cfg = tiny_config();
+  cfg.participation = 0.01;  // 0.01 * 20 rounds to 0 -> clamped to 1
+  cfg.rounds = 12;
+  Trainer trainer(tt, tiny_model(), cfg);
+  attacks::SignFlipAttack flip;
+  std::size_t observed = 0, skipped = 0;
+  const auto res = trainer.run(
+      flip, std::make_unique<agg::MeanAggregator>(),
+      [&](const RoundObservation& obs) {
+        ++observed;
+        if (obs.skipped) {
+          ++skipped;  // the lone sampled client was Byzantine
+          EXPECT_EQ(obs.participants, 0u);
+        } else {
+          EXPECT_EQ(obs.participants, 1u);
+          EXPECT_EQ(obs.byzantine, 0u);
+        }
+      });
+  EXPECT_EQ(observed, 12u);
+  EXPECT_LT(skipped, 12u);  // with 20% Byzantine some rounds must survive
+  (void)res;
+}
+
+TEST(Trainer, FailureInjectionAccounting) {
+  const auto tt = tiny_data();
+  auto cfg = tiny_config();
+  cfg.dropout_prob = 0.3;
+  cfg.straggler_prob = 0.3;
+  cfg.rounds = 15;
+  Trainer trainer(tt, tiny_model(), cfg);
+  attacks::NoAttack none;
+  std::size_t dropped = 0, stragglers = 0;
+  trainer.run(none, std::make_unique<agg::MeanAggregator>(),
+              [&](const RoundObservation& obs) {
+                // Every sampled client is either aggregated, dropped, or
+                // arrived too late (on a skipped round the active
+                // Byzantine clients are none of the three).
+                if (!obs.skipped)
+                  EXPECT_EQ(obs.participants + obs.dropped + obs.stragglers,
+                            cfg.n_clients);
+                dropped += obs.dropped;
+                stragglers += obs.stragglers;
+              });
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(stragglers, 0u);
+}
+
+TEST(Trainer, FullDropoutSkipsEveryRoundWithoutCrashing) {
+  const auto tt = tiny_data();
+  auto cfg = tiny_config();
+  cfg.dropout_prob = 1.0;
+  cfg.rounds = 5;
+  Trainer trainer(tt, tiny_model(), cfg);
+  attacks::NoAttack none;
+  std::size_t skipped = 0;
+  const auto res = trainer.run(none, std::make_unique<agg::MeanAggregator>(),
+                               [&](const RoundObservation& obs) {
+                                 skipped += obs.skipped ? 1 : 0;
+                               });
+  EXPECT_EQ(skipped, 5u);
+  EXPECT_TRUE(res.history.empty());
+}
+
+TEST(Trainer, ObserverExposesAggregateTrace) {
+  const auto tt = tiny_data();
+  auto cfg = tiny_config();
+  cfg.rounds = 4;
+  Trainer trainer(tt, tiny_model(), cfg);
+  const std::size_t dim = tiny_model()(1).parameter_count();
+  attacks::NoAttack none;
+  trainer.run(none, std::make_unique<agg::MeanAggregator>(),
+              [&](const RoundObservation& obs) {
+                ASSERT_EQ(obs.aggregate.size(), dim);
+                EXPECT_EQ(obs.participants, cfg.n_clients);
+                EXPECT_EQ(obs.byzantine, trainer.n_byzantine());
+              });
+}
+
 TEST(ExperimentFactories, AllNamesConstruct) {
   for (const auto& name : table1_attacks())
     EXPECT_NE(make_attack(name), nullptr) << name;
