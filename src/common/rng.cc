@@ -47,16 +47,24 @@ void Rng::shuffle(std::span<int> items) {
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
+  std::vector<std::size_t> out;
+  sample_without_replacement_into(n, k, out);
+  return out;
+}
+
+void Rng::sample_without_replacement_into(std::size_t n, std::size_t k,
+                                          std::vector<std::size_t>& out) {
   k = std::min(k, n);
-  std::vector<std::size_t> all(n);
-  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   // Partial Fisher-Yates: only the first k positions need to be finalized.
+  // The buffer keeps its capacity across calls, so a steady caller (the
+  // client's per-batch sampling) allocates only once.
   for (std::size_t i = 0; i < k; ++i) {
     std::uniform_int_distribution<std::size_t> dist(i, n - 1);
-    std::swap(all[i], all[dist(engine_)]);
+    std::swap(out[i], out[dist(engine_)]);
   }
-  all.resize(k);
-  return all;
+  out.resize(k);
 }
 
 std::vector<float> Rng::normal_vector(std::size_t n, double mean,

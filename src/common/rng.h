@@ -50,6 +50,11 @@ class Rng {
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
 
+  // Same draws, written into `out` (capacity-reusing; identical sequence
+  // to sample_without_replacement for the same engine state).
+  void sample_without_replacement_into(std::size_t n, std::size_t k,
+                                       std::vector<std::size_t>& out);
+
   // Vector of n iid N(mean, stddev^2) floats.
   std::vector<float> normal_vector(std::size_t n, double mean = 0.0,
                                    double stddev = 1.0);

@@ -1,37 +1,60 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace signguard::data {
 
 nn::Tensor make_batch(const Dataset& ds,
                       std::span<const std::size_t> indices) {
+  nn::Tensor batch;
+  make_batch_into(ds, indices, batch);
+  return batch;
+}
+
+void make_batch_into(const Dataset& ds, std::span<const std::size_t> indices,
+                     nn::Tensor& out) {
   assert(!indices.empty());
-  std::vector<std::size_t> shape;
-  shape.push_back(indices.size());
-  shape.insert(shape.end(), ds.sample_shape.begin(), ds.sample_shape.end());
-  nn::Tensor batch(shape);
+  // Build the [B, ...sample_shape] shape only when it actually changed;
+  // with a stable batch size the whole call allocates nothing.
+  const auto& ss = ds.sample_shape;
+  const bool same_shape =
+      out.ndim() == ss.size() + 1 && out.dim(0) == indices.size() &&
+      std::equal(ss.begin(), ss.end(), out.shape().begin() + 1);
+  if (!same_shape) {
+    std::vector<std::size_t> shape;
+    shape.reserve(ss.size() + 1);
+    shape.push_back(indices.size());
+    shape.insert(shape.end(), ss.begin(), ss.end());
+    out.resize(shape);
+  }
   const std::size_t dim = ds.feature_dim();
   for (std::size_t b = 0; b < indices.size(); ++b) {
     assert(indices[b] < ds.size());
     const auto& sample = ds.x[indices[b]];
     assert(sample.size() == dim);
-    float* out = batch.data() + b * dim;
-    for (std::size_t i = 0; i < dim; ++i) out[i] = sample[i];
+    float* dst = out.data() + b * dim;
+    for (std::size_t i = 0; i < dim; ++i) dst[i] = sample[i];
   }
-  return batch;
 }
 
 std::vector<int> batch_labels(const Dataset& ds,
                               std::span<const std::size_t> indices,
                               bool flip_labels) {
-  std::vector<int> labels(indices.size());
+  std::vector<int> labels;
+  batch_labels_into(ds, indices, labels, flip_labels);
+  return labels;
+}
+
+void batch_labels_into(const Dataset& ds,
+                       std::span<const std::size_t> indices,
+                       std::vector<int>& out, bool flip_labels) {
+  out.resize(indices.size());
   const int c = static_cast<int>(ds.num_classes);
   for (std::size_t b = 0; b < indices.size(); ++b) {
     const int l = ds.y[indices[b]];
-    labels[b] = flip_labels ? (c - 1 - l) : l;
+    out[b] = flip_labels ? (c - 1 - l) : l;
   }
-  return labels;
 }
 
 void shuffle_samples(Dataset& ds, Rng& rng) {

@@ -28,12 +28,23 @@ struct Dataset {
 // trainer's parallel client loop.
 nn::Tensor make_batch(const Dataset& ds, std::span<const std::size_t> indices);
 
+// Allocation-free variant: writes into `out`, reusing its capacity. With
+// a stable batch size this does no heap work at all (the client's
+// per-batch hot path).
+void make_batch_into(const Dataset& ds, std::span<const std::size_t> indices,
+                     nn::Tensor& out);
+
 // Labels of the selected samples, with optional label flipping
 // l -> C-1-l (the paper's label-flip data poisoning attack, §V-B).
 // Also const-pure / thread-safe.
 std::vector<int> batch_labels(const Dataset& ds,
                               std::span<const std::size_t> indices,
                               bool flip_labels = false);
+
+// Capacity-reusing variant of batch_labels.
+void batch_labels_into(const Dataset& ds,
+                       std::span<const std::size_t> indices,
+                       std::vector<int>& out, bool flip_labels = false);
 
 // Uniform random permutation of sample order (so sequential shards are
 // not single-class). Generators call this after emitting class blocks.

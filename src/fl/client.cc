@@ -31,20 +31,22 @@ void Client::compute_gradient_into(std::span<float> out, nn::Model& model,
                                    double weight_decay, bool flip_labels,
                                    double client_momentum) {
   const std::size_t bs = std::min(batch_size, shard_.size());
-  const auto picks = rng_.sample_without_replacement(shard_.size(), bs);
-  std::vector<std::size_t> indices(bs);
-  for (std::size_t i = 0; i < bs; ++i) indices[i] = shard_[picks[i]];
+  rng_.sample_without_replacement_into(shard_.size(), bs, picks_);
+  indices_.resize(bs);
+  for (std::size_t i = 0; i < bs; ++i) indices_[i] = shard_[picks_[i]];
 
-  const nn::Tensor batch = data::make_batch(*dataset_, indices);
-  const std::vector<int> labels =
-      data::batch_labels(*dataset_, indices, flip_labels);
+  data::make_batch_into(*dataset_, indices_, batch_);
+  data::batch_labels_into(*dataset_, indices_, labels_, flip_labels);
 
+  // Forward/backward run inside the model's workspace arena; the logits
+  // reference and the layers' borrowed input pointers stay valid until
+  // the next forward pass.
   model.zero_gradients();
-  const nn::Tensor logits = model.forward(batch);
-  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
-  model.backward(loss.dlogits);
+  const nn::Tensor& logits = model.forward(batch_);
+  nn::softmax_cross_entropy_into(logits, labels_, loss_);
+  model.backward(loss_.dlogits);
 
-  loss_sum_ += loss.loss;
+  loss_sum_ += loss_.loss;
   ++loss_count_;
 
   // Flat gradient straight into the caller's row; weight decay streams

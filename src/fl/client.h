@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "nn/loss.h"
 #include "nn/model.h"
 
 namespace signguard::fl {
@@ -55,6 +56,12 @@ class Client {
   std::vector<float> momentum_buffer_;  // only used with client momentum
   double loss_sum_ = 0.0;
   std::size_t loss_count_ = 0;
+  // Per-batch scratch, reused across rounds: with the model's workspace
+  // arena this makes a steady-state training batch allocation-free.
+  std::vector<std::size_t> picks_, indices_;
+  nn::Tensor batch_;
+  std::vector<int> labels_;
+  nn::LossResult loss_;
 };
 
 }  // namespace signguard::fl

@@ -41,14 +41,17 @@ double evaluate_accuracy(nn::Model& model, const data::Dataset& test,
   assert(total > 0);
   std::size_t correct = 0;
   std::vector<std::size_t> indices;
+  nn::Tensor batch;
+  std::vector<int> labels;
+  nn::LossResult r;
   for (std::size_t begin = 0; begin < total; begin += batch_size) {
     const std::size_t end = std::min(begin + batch_size, total);
     indices.resize(end - begin);
     for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
-    const nn::Tensor batch = data::make_batch(test, indices);
-    const std::vector<int> labels = data::batch_labels(test, indices);
-    const nn::Tensor logits = model.forward(batch);
-    const nn::LossResult r = nn::softmax_cross_entropy(logits, labels);
+    data::make_batch_into(test, indices, batch);
+    data::batch_labels_into(test, indices, labels);
+    const nn::Tensor& logits = model.forward(batch);
+    nn::softmax_cross_entropy_into(logits, labels, r);
     correct += r.correct;
   }
   return 100.0 * double(correct) / double(total);

@@ -91,6 +91,10 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   common::GradientMatrix round_grads;
   common::GradientMatrix byz_honest;
   common::GradientMatrix late_grads;
+  // Selection / view scratch, reused round to round (the per-batch NN
+  // path below is allocation-free via the per-worker model workspaces).
+  std::vector<std::size_t> byz_sel, benign_sel, benign_late, sampled, active;
+  std::vector<attacks::GradientView> benign_views;
 
   for (std::size_t round = 0; round < cfg_.rounds; ++round) {
     attack.begin_round(round, attack_rng);
@@ -99,7 +103,8 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     // Participating clients this round (full set unless partial
     // participation is configured). Byzantine clients are those among the
     // sampled set with index < m.
-    std::vector<std::size_t> byz_sel, benign_sel;
+    byz_sel.clear();
+    benign_sel.clear();
     if (cfg_.participation >= 1.0) {
       for (std::size_t i = 0; i < m; ++i) byz_sel.push_back(i);
       for (std::size_t i = m; i < n; ++i) benign_sel.push_back(i);
@@ -107,10 +112,9 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       const std::size_t k = std::max<std::size_t>(
           1, static_cast<std::size_t>(
                  std::round(cfg_.participation * double(n))));
-      for (const std::size_t i :
-           participation_rng.sample_without_replacement(n, k)) {
+      participation_rng.sample_without_replacement_into(n, k, sampled);
+      for (const std::size_t i : sampled)
         (i < m ? byz_sel : benign_sel).push_back(i);
-      }
     }
 
     // Failure injection, drawn sequentially from a dedicated stream so
@@ -119,10 +123,10 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     // late_grads) but its update is discarded; a Byzantine straggler's
     // crafted update simply never reaches the server.
     std::size_t n_dropped = 0, n_straggler = 0;
-    std::vector<std::size_t> benign_late;
+    benign_late.clear();
     if (cfg_.dropout_prob > 0.0 || cfg_.straggler_prob > 0.0) {
       auto sift = [&](std::vector<std::size_t>& sel, bool benign) {
-        std::vector<std::size_t> active;
+        active.clear();
         for (const std::size_t i : sel) {
           if (cfg_.dropout_prob > 0.0 &&
               failure_rng.bernoulli(cfg_.dropout_prob)) {
@@ -135,7 +139,9 @@ TrainingResult Trainer::run(attacks::Attack& attack,
             active.push_back(i);
           }
         }
-        sel = std::move(active);
+        // swap (not move) so both buffers keep their capacity round over
+        // round.
+        std::swap(sel, active);
       };
       sift(byz_sel, /*benign=*/false);
       sift(benign_sel, /*benign=*/true);
@@ -201,7 +207,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
 
     // The attacker observes the benign rows (and the honest Byzantine
     // gradients) as borrowed views of the round buffers — no copies.
-    std::vector<attacks::GradientView> benign_views;
+    benign_views.clear();
     benign_views.reserve(n_round - m_round);
     for (std::size_t t = m_round; t < n_round; ++t)
       benign_views.push_back(round_grads.row(t));

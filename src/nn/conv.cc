@@ -1,9 +1,78 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "nn/gemm.h"
+
 namespace signguard::nn {
+
+namespace {
+
+// Lowers one [C, H, W] sample to a [C*9 x H*W] column panel for the 3x3
+// same-padding convolution: row k = (c*3 + ky+1)*3 + (kx+1) holds the
+// input shifted by (ky, kx), with out-of-range taps materialized as
+// literal zeros. Column p of the panel is the 9C-tap receptive field of
+// output pixel p, so conv becomes W[OC x C*9] * cols.
+void im2col_3x3(const float* x, std::size_t ch, std::size_t h, std::size_t w,
+                float* cols) {
+  const std::size_t hw = h * w;
+  float* out_row = cols;
+  for (std::size_t c = 0; c < ch; ++c) {
+    const float* xc = x + c * hw;
+    for (std::ptrdiff_t ky = -1; ky <= 1; ++ky) {
+      for (std::ptrdiff_t kx = -1; kx <= 1; ++kx) {
+        const std::size_t x0 = kx < 0 ? std::size_t(-kx) : 0;
+        const std::size_t x1 = kx > 0 ? w - std::size_t(kx) : w;
+        for (std::size_t yy = 0; yy < h; ++yy) {
+          float* dst = out_row + yy * w;
+          const std::ptrdiff_t sy = std::ptrdiff_t(yy) + ky;
+          if (sy < 0 || sy >= std::ptrdiff_t(h)) {
+            std::fill(dst, dst + w, 0.0f);
+            continue;
+          }
+          const float* src = xc + std::size_t(sy) * w;
+          std::fill(dst, dst + x0, 0.0f);
+          for (std::size_t xx = x0; xx < x1; ++xx)
+            dst[xx] = src[std::size_t(std::ptrdiff_t(xx) + kx)];
+          std::fill(dst + x1, dst + w, 0.0f);
+        }
+        out_row += hw;
+      }
+    }
+  }
+}
+
+// Adjoint of im2col_3x3: scatter-accumulate a [C*9 x H*W] column-gradient
+// panel back onto the (pre-zeroed) [C, H, W] input gradient. Iteration
+// order matches im2col (k ascending, then row-major pixels), so the
+// accumulation order is fixed and thread-count independent.
+void col2im_3x3(const float* cols, std::size_t ch, std::size_t h,
+                std::size_t w, float* gx) {
+  const std::size_t hw = h * w;
+  const float* in_row = cols;
+  for (std::size_t c = 0; c < ch; ++c) {
+    float* gxc = gx + c * hw;
+    for (std::ptrdiff_t ky = -1; ky <= 1; ++ky) {
+      for (std::ptrdiff_t kx = -1; kx <= 1; ++kx) {
+        const std::size_t x0 = kx < 0 ? std::size_t(-kx) : 0;
+        const std::size_t x1 = kx > 0 ? w - std::size_t(kx) : w;
+        for (std::size_t yy = 0; yy < h; ++yy) {
+          const float* src = in_row + yy * w;
+          const std::ptrdiff_t sy = std::ptrdiff_t(yy) + ky;
+          if (sy < 0 || sy >= std::ptrdiff_t(h)) continue;
+          float* dst = gxc + std::size_t(sy) * w;
+          for (std::size_t xx = x0; xx < x1; ++xx)
+            dst[std::size_t(std::ptrdiff_t(xx) + kx)] += src[xx];
+        }
+        in_row += hw;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- Conv2d
 
@@ -20,81 +89,67 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, Rng& rng)
   for (auto& v : w_) v = static_cast<float>(rng.uniform(-bound, bound));
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+void Conv2d::forward(const Tensor& x, Tensor& y, Workspace& ws) {
   assert(x.ndim() == 4 && x.dim(1) == in_ch_);
-  cached_input_ = x;
   const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
-  Tensor y({batch, out_ch_, h, w});
-  const std::ptrdiff_t hh = std::ptrdiff_t(h), ww = std::ptrdiff_t(w);
+  const std::size_t hw = h * w, kk = in_ch_ * kKernel * kKernel;
+  cached_input_ = &x;
+  y.resize({batch, out_ch_, h, w});
+  // One single-sample panel, reused across the batch; backward re-lowers
+  // from the borrowed input, so eval-sized batches never pin a
+  // batch-sized panel in the arena.
+  Tensor& cols = ws.take({kk, hw});
   for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      float* yp = y.data() + ((b * out_ch_ + oc) * h) * w;
-      for (std::size_t i = 0; i < h * w; ++i) yp[i] = b_[oc];
-      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-        const float* xp = x.data() + ((b * in_ch_ + ic) * h) * w;
-        const float* wk = w_.data() + ((oc * in_ch_ + ic) * kKernel) * kKernel;
-        for (std::ptrdiff_t ky = -1; ky <= 1; ++ky) {
-          for (std::ptrdiff_t kx = -1; kx <= 1; ++kx) {
-            const float kv = wk[(ky + 1) * 3 + (kx + 1)];
-            if (kv == 0.0f) continue;
-            const std::ptrdiff_t y0 = std::max<std::ptrdiff_t>(0, -ky);
-            const std::ptrdiff_t y1 = std::min(hh, hh - ky);
-            const std::ptrdiff_t x0 = std::max<std::ptrdiff_t>(0, -kx);
-            const std::ptrdiff_t x1 = std::min(ww, ww - kx);
-            for (std::ptrdiff_t yy = y0; yy < y1; ++yy) {
-              float* yrow = yp + yy * ww;
-              const float* xrow = xp + (yy + ky) * ww + kx;
-              for (std::ptrdiff_t xx = x0; xx < x1; ++xx)
-                yrow[xx] += kv * xrow[xx];
-            }
-          }
-        }
-      }
-    }
+    im2col_3x3(x.data() + b * in_ch_ * hw, in_ch_, h, w, cols.data());
+    float* yb = y.data() + b * out_ch_ * hw;
+    // y_b = W cols_b, then the per-channel bias broadcast.
+    gemm_nn(out_ch_, hw, kk, w_.data(), kk, cols.data(), hw, yb, hw,
+            /*accumulate=*/false);
+    add_bias_cols(yb, out_ch_, hw, hw, b_.data());
   }
-  return y;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
-  const Tensor& x = cached_input_;
+void Conv2d::backward(const Tensor& grad_out, Tensor& grad_in,
+                      Workspace& ws) {
+  assert(cached_input_ != nullptr);
+  const Tensor& x = *cached_input_;
   const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
-  assert(grad_out.dim(1) == out_ch_ && grad_out.dim(2) == h &&
-         grad_out.dim(3) == w);
-  Tensor dx({batch, in_ch_, h, w});
-  const std::ptrdiff_t hh = std::ptrdiff_t(h), ww = std::ptrdiff_t(w);
+  const std::size_t hw = h * w, kk = in_ch_ * kKernel * kKernel;
+  assert(grad_out.dim(0) == batch && grad_out.dim(1) == out_ch_ &&
+         grad_out.dim(2) == h && grad_out.dim(3) == w);
+  grad_in.resize({batch, in_ch_, h, w});
+  grad_in.zero();
+  Tensor& cols = ws.take({kk, hw});
+  Tensor& dcols = ws.take({kk, hw});
   for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      const float* gy = grad_out.data() + ((b * out_ch_ + oc) * h) * w;
-      for (std::size_t i = 0; i < h * w; ++i) gb_[oc] += gy[i];
-      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-        const float* xp = x.data() + ((b * in_ch_ + ic) * h) * w;
-        float* gxp = dx.data() + ((b * in_ch_ + ic) * h) * w;
-        const float* wk = w_.data() + ((oc * in_ch_ + ic) * kKernel) * kKernel;
-        float* gwk = gw_.data() + ((oc * in_ch_ + ic) * kKernel) * kKernel;
-        for (std::ptrdiff_t ky = -1; ky <= 1; ++ky) {
-          for (std::ptrdiff_t kx = -1; kx <= 1; ++kx) {
-            const float kv = wk[(ky + 1) * 3 + (kx + 1)];
-            double gk = 0.0;
-            const std::ptrdiff_t y0 = std::max<std::ptrdiff_t>(0, -ky);
-            const std::ptrdiff_t y1 = std::min(hh, hh - ky);
-            const std::ptrdiff_t x0 = std::max<std::ptrdiff_t>(0, -kx);
-            const std::ptrdiff_t x1 = std::min(ww, ww - kx);
-            for (std::ptrdiff_t yy = y0; yy < y1; ++yy) {
-              const float* gyrow = gy + yy * ww;
-              const float* xrow = xp + (yy + ky) * ww + kx;
-              float* gxrow = gxp + (yy + ky) * ww + kx;
-              for (std::ptrdiff_t xx = x0; xx < x1; ++xx) {
-                gk += double(gyrow[xx]) * double(xrow[xx]);
-                gxrow[xx] += gyrow[xx] * kv;
-              }
-            }
-            gwk[(ky + 1) * 3 + (kx + 1)] += static_cast<float>(gk);
-          }
-        }
-      }
-    }
+    const float* gyb = grad_out.data() + b * out_ch_ * hw;
+    // gb += per-channel sums of gy.
+    add_row_sums(gyb, out_ch_, hw, hw, gb_.data());
+    // gW += gy_b cols_b^T (columns re-lowered; bitwise equal to forward's).
+    im2col_3x3(x.data() + b * in_ch_ * hw, in_ch_, h, w, cols.data());
+    gemm_nt(out_ch_, kk, hw, gyb, hw, cols.data(), hw, gw_.data(), kk,
+            /*accumulate=*/true);
+    // dcols = W^T gy_b, scattered back onto the input gradient.
+    gemm_tn(kk, hw, out_ch_, w_.data(), kk, gyb, hw, dcols.data(), hw,
+            /*accumulate=*/false);
+    col2im_3x3(dcols.data(), in_ch_, h, w, grad_in.data() + b * in_ch_ * hw);
   }
-  return dx;
+}
+
+void Conv2d::backward_params_only(const Tensor& grad_out, Workspace& ws) {
+  assert(cached_input_ != nullptr);
+  const Tensor& x = *cached_input_;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t hw = h * w, kk = in_ch_ * kKernel * kKernel;
+  assert(grad_out.dim(0) == batch && grad_out.dim(1) == out_ch_);
+  Tensor& cols = ws.take({kk, hw});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* gyb = grad_out.data() + b * out_ch_ * hw;
+    add_row_sums(gyb, out_ch_, hw, hw, gb_.data());
+    im2col_3x3(x.data() + b * in_ch_ * hw, in_ch_, h, w, cols.data());
+    gemm_nt(out_ch_, kk, hw, gyb, hw, cols.data(), hw, gw_.data(), kk,
+            /*accumulate=*/true);
+  }
 }
 
 std::vector<ParamView> Conv2d::params() {
@@ -103,13 +158,13 @@ std::vector<ParamView> Conv2d::params() {
 
 // -------------------------------------------------------------- MaxPool2
 
-Tensor MaxPool2::forward(const Tensor& x) {
+void MaxPool2::forward(const Tensor& x, Tensor& y, Workspace&) {
   assert(x.ndim() == 4 && x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0);
   cached_in_shape_ = x.shape();
   const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2),
                     w = x.dim(3);
   const std::size_t oh = h / 2, ow = w / 2;
-  Tensor y({batch, ch, oh, ow});
+  y.resize({batch, ch, oh, ow});
   argmax_.assign(y.numel(), 0);
   for (std::size_t bc = 0; bc < batch * ch; ++bc) {
     const float* xp = x.data() + bc * h * w;
@@ -133,15 +188,14 @@ Tensor MaxPool2::forward(const Tensor& x) {
       }
     }
   }
-  return y;
 }
 
-Tensor MaxPool2::backward(const Tensor& grad_out) {
-  Tensor dx(cached_in_shape_);
+void MaxPool2::backward(const Tensor& grad_out, Tensor& grad_in, Workspace&) {
   assert(grad_out.numel() == argmax_.size());
+  grad_in.resize(cached_in_shape_);
+  grad_in.zero();
   for (std::size_t i = 0; i < grad_out.numel(); ++i)
-    dx[argmax_[i]] += grad_out[i];
-  return dx;
+    grad_in[argmax_[i]] += grad_out[i];
 }
 
 // ----------------------------------------------------- ResidualConvBlock
@@ -149,26 +203,58 @@ Tensor MaxPool2::backward(const Tensor& grad_out) {
 ResidualConvBlock::ResidualConvBlock(std::size_t channels, Rng& rng)
     : conv1_(channels, channels, rng), conv2_(channels, channels, rng) {}
 
-Tensor ResidualConvBlock::forward(const Tensor& x) {
-  Tensor h = relu_mid_.forward(conv1_.forward(x));
-  Tensor s = conv2_.forward(h);
+void ResidualConvBlock::forward(const Tensor& x, Tensor& y, Workspace& ws) {
+  Tensor& h1 = ws.take(x.shape());
+  conv1_.forward(x, h1, ws);
+  Tensor& h2 = ws.take(x.shape());
+  relu_mid_.forward(h1, h2, ws);
+  Tensor& s = ws.take(x.shape());
+  conv2_.forward(h2, s, ws);
   assert(s.same_shape(x));
-  for (std::size_t i = 0; i < s.numel(); ++i) s[i] += x[i];
-  cached_sum_ = s;
-  Tensor y = s;
-  for (auto& v : y.flat()) v = v > 0.0f ? v : 0.0f;
-  return y;
+  const std::size_t n = s.numel();
+  {
+    float* __restrict sp = s.data();
+    const float* __restrict xp = x.data();
+    for (std::size_t i = 0; i < n; ++i) sp[i] += xp[i];
+  }
+  cached_sum_ = &s;
+  y.resize(s.shape());
+  {
+    const float* __restrict sp = s.data();
+    float* __restrict yp = y.data();
+    for (std::size_t i = 0; i < n; ++i)
+      yp[i] = sp[i] > 0.0f ? sp[i] : 0.0f;
+  }
 }
 
-Tensor ResidualConvBlock::backward(const Tensor& grad_out) {
+void ResidualConvBlock::backward(const Tensor& grad_out, Tensor& grad_in,
+                                 Workspace& ws) {
+  assert(cached_sum_ != nullptr);
+  const Tensor& s = *cached_sum_;
   // Through the output ReLU.
-  Tensor ds = grad_out;
-  for (std::size_t i = 0; i < ds.numel(); ++i)
-    if (cached_sum_[i] <= 0.0f) ds[i] = 0.0f;
+  Tensor& ds = ws.take(s.shape());
+  {
+    const float* __restrict sp = s.data();
+    const float* __restrict gp = grad_out.data();
+    float* __restrict dp = ds.data();
+    const std::size_t n = s.numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = gp[i];  // unconditional load -> vector blend
+      dp[i] = sp[i] > 0.0f ? g : 0.0f;
+    }
+  }
   // Main branch: conv2 -> mid ReLU -> conv1; skip branch adds ds directly.
-  Tensor dx = conv1_.backward(relu_mid_.backward(conv2_.backward(ds)));
-  for (std::size_t i = 0; i < dx.numel(); ++i) dx[i] += ds[i];
-  return dx;
+  Tensor& g2 = ws.take(s.shape());
+  conv2_.backward(ds, g2, ws);
+  Tensor& g3 = ws.take(s.shape());
+  relu_mid_.backward(g2, g3, ws);
+  conv1_.backward(g3, grad_in, ws);
+  {
+    float* __restrict gp = grad_in.data();
+    const float* __restrict dp = ds.data();
+    const std::size_t n = grad_in.numel();
+    for (std::size_t i = 0; i < n; ++i) gp[i] += dp[i];
+  }
 }
 
 std::vector<ParamView> ResidualConvBlock::params() {

@@ -2,6 +2,14 @@
 // Convolutional layers: 3x3 same-padding Conv2d, 2x2 MaxPool, and a
 // two-conv residual block (the "ResNet-18-like" ingredient of the CIFAR
 // stand-in model). Activations are [B, C, H, W] row-major tensors.
+//
+// Conv2d lowers to GEMM: forward im2cols each sample into a packed
+// [IC*9 x H*W] column buffer (zero padding materialized as zero columns)
+// and multiplies by the [OC x IC*9] weight matrix; backward re-lowers
+// the borrowed input for the weight gradient and col2im-scatters the
+// column gradient back to the input. The single-sample column buffers
+// come from the Workspace arena, so steady-state training allocates
+// nothing and eval-sized batches don't balloon the arena.
 
 #include <vector>
 
@@ -14,8 +22,10 @@ class Conv2d : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
+  void backward_params_only(const Tensor& grad_out, Workspace& ws) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "Conv2d"; }
 
@@ -23,15 +33,21 @@ class Conv2d : public Layer {
 
  private:
   std::size_t in_ch_, out_ch_;
-  std::vector<float> w_, b_, gw_, gb_;  // w: [OC, IC, 3, 3]
-  Tensor cached_input_;
+  std::vector<float> w_, b_, gw_, gb_;  // w: [OC, IC, 3, 3] == [OC x IC*9]
+  // Forward lowers one sample at a time into a single [IC*9 x H*W]
+  // workspace panel and backward re-lowers from the borrowed input (a
+  // memory-bound copy), so no batch-sized panel is ever retained — an
+  // evaluation-sized forward would otherwise pin megabytes per layer in
+  // the never-shrinking arena.
+  const Tensor* cached_input_ = nullptr;  // borrowed; valid until backward
 };
 
 // 2x2 max pooling with stride 2. H and W must be even.
 class MaxPool2 : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
   std::string name() const override { return "MaxPool2"; }
 
  private:
@@ -45,15 +61,16 @@ class ResidualConvBlock : public Layer {
  public:
   ResidualConvBlock(std::size_t channels, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "ResidualConvBlock"; }
 
  private:
   Conv2d conv1_, conv2_;
   ReLU relu_mid_;
-  Tensor cached_sum_;  // pre-activation of the output ReLU
+  const Tensor* cached_sum_ = nullptr;  // pre-activation of the output ReLU
 };
 
 }  // namespace signguard::nn

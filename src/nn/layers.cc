@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/gemm.h"
+
 namespace signguard::nn {
 
 void Layer::zero_grad() {
@@ -23,46 +25,43 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng, double gain)
   for (auto& v : w_) v = static_cast<float>(rng.uniform(-bound, bound));
 }
 
-Tensor Linear::forward(const Tensor& x) {
+void Linear::forward(const Tensor& x, Tensor& y, Workspace&) {
   assert(x.ndim() == 2 && x.dim(1) == in_);
-  cached_input_ = x;
+  cached_input_ = &x;
   const std::size_t batch = x.dim(0);
-  Tensor y({batch, out_});
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* xb = x.data() + b * in_;
-    float* yb = y.data() + b * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wo = w_.data() + o * in_;
-      double acc = b_[o];
-      for (std::size_t i = 0; i < in_; ++i) acc += double(wo[i]) * double(xb[i]);
-      yb[o] = static_cast<float>(acc);
-    }
-  }
-  return y;
+  y.resize({batch, out_});
+  // y = x W^T, then the bias broadcast.
+  gemm_nt(batch, out_, in_, x.data(), in_, w_.data(), in_, y.data(), out_,
+          /*accumulate=*/false);
+  add_bias_rows(y.data(), batch, out_, out_, b_.data());
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
-  const std::size_t batch = cached_input_.dim(0);
+void Linear::backward(const Tensor& grad_out, Tensor& grad_in, Workspace&) {
+  assert(cached_input_ != nullptr);
+  const Tensor& x = *cached_input_;
+  const std::size_t batch = x.dim(0);
   assert(grad_out.ndim() == 2 && grad_out.dim(0) == batch &&
          grad_out.dim(1) == out_);
-  Tensor dx({batch, in_});
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* xb = cached_input_.data() + b * in_;
-    const float* gy = grad_out.data() + b * out_;
-    float* gx = dx.data() + b * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float g = gy[o];
-      if (g == 0.0f) continue;
-      gb_[o] += g;
-      float* gwo = gw_.data() + o * in_;
-      const float* wo = w_.data() + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) {
-        gwo[i] += g * xb[i];
-        gx[i] += g * wo[i];
-      }
-    }
-  }
-  return dx;
+  grad_in.resize({batch, in_});
+  // dx = gy W
+  gemm_nn(batch, in_, out_, grad_out.data(), out_, w_.data(), in_,
+          grad_in.data(), in_, /*accumulate=*/false);
+  // gW += gy^T x
+  gemm_tn(out_, in_, batch, grad_out.data(), out_, x.data(), in_, gw_.data(),
+          in_, /*accumulate=*/true);
+  // gb += column sums of gy
+  add_col_sums(grad_out.data(), batch, out_, out_, gb_.data());
+}
+
+void Linear::backward_params_only(const Tensor& grad_out, Workspace&) {
+  assert(cached_input_ != nullptr);
+  const Tensor& x = *cached_input_;
+  const std::size_t batch = x.dim(0);
+  assert(grad_out.ndim() == 2 && grad_out.dim(0) == batch &&
+         grad_out.dim(1) == out_);
+  gemm_tn(out_, in_, batch, grad_out.data(), out_, x.data(), in_, gw_.data(),
+          in_, /*accumulate=*/true);
+  add_col_sums(grad_out.data(), batch, out_, out_, gb_.data());
 }
 
 std::vector<ParamView> Linear::params() {
@@ -71,50 +70,73 @@ std::vector<ParamView> Linear::params() {
 
 // ------------------------------------------------------------------ ReLU
 
-Tensor ReLU::forward(const Tensor& x) {
-  cached_input_ = x;
-  Tensor y = x;
-  for (auto& v : y.flat()) v = v > 0.0f ? v : 0.0f;
-  return y;
+void ReLU::forward(const Tensor& x, Tensor& y, Workspace&) {
+  cached_input_ = &x;
+  y.resize(x.shape());
+  const float* in = x.data();
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    out[i] = in[i] > 0.0f ? in[i] : 0.0f;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  assert(grad_out.numel() == cached_input_.numel());
-  Tensor dx = grad_out;
-  for (std::size_t i = 0; i < dx.numel(); ++i)
-    if (cached_input_[i] <= 0.0f) dx[i] = 0.0f;
-  return dx;
+void ReLU::backward(const Tensor& grad_out, Tensor& grad_in, Workspace&) {
+  assert(cached_input_ != nullptr &&
+         grad_out.numel() == cached_input_->numel());
+  const Tensor& x = *cached_input_;
+  grad_in.resize(x.shape());
+  // restrict lets the compiler vectorize the select into a masked blend;
+  // the three buffers are distinct by construction (input activation,
+  // incoming gradient, outgoing gradient slot).
+  const float* __restrict xp = x.data();
+  const float* __restrict gy = grad_out.data();
+  float* __restrict gx = grad_in.data();
+  const std::size_t n = x.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Unconditional load keeps the select if-convertible (vector blend);
+    // a load behind the branch defeats auto-vectorization.
+    const float g = gy[i];
+    gx[i] = xp[i] > 0.0f ? g : 0.0f;
+  }
 }
 
 // ------------------------------------------------------------------ Tanh
 
-Tensor Tanh::forward(const Tensor& x) {
-  Tensor y = x;
-  for (auto& v : y.flat()) v = std::tanh(v);
-  cached_output_ = y;
-  return y;
+void Tanh::forward(const Tensor& x, Tensor& y, Workspace&) {
+  y.resize(x.shape());
+  const float* in = x.data();
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    out[i] = std::tanh(in[i]);
+  cached_output_ = &y;
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
-  assert(grad_out.numel() == cached_output_.numel());
-  Tensor dx = grad_out;
-  for (std::size_t i = 0; i < dx.numel(); ++i) {
-    const float t = cached_output_[i];
-    dx[i] *= (1.0f - t * t);
+void Tanh::backward(const Tensor& grad_out, Tensor& grad_in, Workspace&) {
+  assert(cached_output_ != nullptr &&
+         grad_out.numel() == cached_output_->numel());
+  const Tensor& yv = *cached_output_;
+  grad_in.resize(yv.shape());
+  const float* __restrict yp = yv.data();
+  const float* __restrict gy = grad_out.data();
+  float* __restrict gx = grad_in.data();
+  const std::size_t n = yv.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float t = yp[i];
+    gx[i] = gy[i] * (1.0f - t * t);
   }
-  return dx;
 }
 
 // --------------------------------------------------------------- Flatten
 
-Tensor Flatten::forward(const Tensor& x) {
+void Flatten::forward(const Tensor& x, Tensor& y, Workspace&) {
   cached_shape_ = x.shape();
   const std::size_t batch = x.dim(0);
-  return x.reshaped({batch, x.numel() / batch});
+  y.assign_from(x);
+  y.reshape_in_place({batch, x.numel() / batch});
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
-  return grad_out.reshaped(cached_shape_);
+void Flatten::backward(const Tensor& grad_out, Tensor& grad_in, Workspace&) {
+  grad_in.assign_from(grad_out);
+  grad_in.reshape_in_place(cached_shape_);
 }
 
 // ------------------------------------------------------------- Embedding
@@ -124,12 +146,12 @@ Embedding::Embedding(std::size_t vocab, std::size_t dim, Rng& rng)
   for (auto& v : w_) v = static_cast<float>(rng.normal(0.0, 0.1));
 }
 
-Tensor Embedding::forward(const Tensor& ids) {
+void Embedding::forward(const Tensor& ids, Tensor& y, Workspace&) {
   assert(ids.ndim() == 2);
   cached_batch_ = ids.dim(0);
   cached_time_ = ids.dim(1);
   cached_ids_.resize(ids.numel());
-  Tensor y({cached_batch_, cached_time_, dim_});
+  y.resize({cached_batch_, cached_time_, dim_});
   for (std::size_t i = 0; i < ids.numel(); ++i) {
     const int id = static_cast<int>(ids[i]);
     assert(id >= 0 && std::size_t(id) < vocab_);
@@ -138,29 +160,35 @@ Tensor Embedding::forward(const Tensor& ids) {
     float* out = y.data() + i * dim_;
     for (std::size_t e = 0; e < dim_; ++e) out[e] = row[e];
   }
-  return y;
 }
 
-Tensor Embedding::backward(const Tensor& grad_out) {
+void Embedding::backward(const Tensor& grad_out, Tensor& grad_in,
+                         Workspace& ws) {
+  backward_params_only(grad_out, ws);
+  // Token ids are discrete inputs; there is no gradient to propagate.
+  grad_in.resize({cached_batch_, cached_time_});
+  grad_in.zero();
+}
+
+void Embedding::backward_params_only(const Tensor& grad_out, Workspace&) {
   assert(grad_out.numel() == cached_ids_.size() * dim_);
   for (std::size_t i = 0; i < cached_ids_.size(); ++i) {
     float* grow = gw_.data() + std::size_t(cached_ids_[i]) * dim_;
     const float* g = grad_out.data() + i * dim_;
     for (std::size_t e = 0; e < dim_; ++e) grow[e] += g[e];
   }
-  // Token ids are discrete inputs; there is no gradient to propagate.
-  return Tensor({cached_batch_, cached_time_});
 }
 
 std::vector<ParamView> Embedding::params() { return {{w_, gw_}}; }
 
 // ---------------------------------------------------------- MeanPoolTime
 
-Tensor MeanPoolTime::forward(const Tensor& x) {
+void MeanPoolTime::forward(const Tensor& x, Tensor& y, Workspace&) {
   assert(x.ndim() == 3);
   const std::size_t batch = x.dim(0), time = x.dim(1), dim = x.dim(2);
   cached_time_ = time;
-  Tensor y({batch, dim});
+  y.resize({batch, dim});
+  y.zero();
   for (std::size_t b = 0; b < batch; ++b) {
     float* yb = y.data() + b * dim;
     for (std::size_t t = 0; t < time; ++t) {
@@ -169,22 +197,21 @@ Tensor MeanPoolTime::forward(const Tensor& x) {
     }
     for (std::size_t e = 0; e < dim; ++e) yb[e] /= float(time);
   }
-  return y;
 }
 
-Tensor MeanPoolTime::backward(const Tensor& grad_out) {
+void MeanPoolTime::backward(const Tensor& grad_out, Tensor& grad_in,
+                            Workspace&) {
   assert(grad_out.ndim() == 2);
   const std::size_t batch = grad_out.dim(0), dim = grad_out.dim(1);
-  Tensor dx({batch, cached_time_, dim});
+  grad_in.resize({batch, cached_time_, dim});
   const float inv = 1.0f / float(cached_time_);
   for (std::size_t b = 0; b < batch; ++b) {
     const float* gy = grad_out.data() + b * dim;
     for (std::size_t t = 0; t < cached_time_; ++t) {
-      float* gx = dx.data() + (b * cached_time_ + t) * dim;
+      float* gx = grad_in.data() + (b * cached_time_ + t) * dim;
       for (std::size_t e = 0; e < dim; ++e) gx[e] = gy[e] * inv;
     }
   }
-  return dx;
 }
 
 }  // namespace signguard::nn

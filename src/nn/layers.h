@@ -2,10 +2,17 @@
 // Layer interface plus the dense / elementwise / embedding layers. The
 // convolutional layers live in conv.h, the recurrent layer in rnn.h.
 //
-// Contract: forward() caches whatever backward() needs; backward() receives
-// dL/d(output), accumulates parameter gradients in place, and returns
-// dL/d(input). Parameter gradients accumulate across backward() calls until
-// zero_grad(); the Model gathers them into one flat buffer for the FL layer.
+// Contract: forward(x, y, ws) writes the layer output into the
+// caller-provided tensor y (resizing it, capacity-reusing) and may cache
+// a borrowed pointer to x — the caller (Model) guarantees x outlives the
+// matching backward() call, so layers never deep-copy activations.
+// backward(grad_out, grad_in, ws) receives dL/d(output), accumulates
+// parameter gradients in place, and writes dL/d(input) into grad_in.
+// Layer-internal scratch comes from the Workspace arena (ws.take), so a
+// fixed pass structure allocates nothing after the first batch.
+// Parameter gradients accumulate across backward() calls until
+// zero_grad(); the Model gathers them into one flat buffer for the FL
+// layer.
 
 #include <memory>
 #include <span>
@@ -14,6 +21,7 @@
 
 #include "common/rng.h"
 #include "nn/tensor.h"
+#include "nn/workspace.h"
 
 namespace signguard::nn {
 
@@ -27,8 +35,19 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  virtual Tensor forward(const Tensor& x) = 0;
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual void forward(const Tensor& x, Tensor& y, Workspace& ws) = 0;
+  virtual void backward(const Tensor& grad_out, Tensor& grad_in,
+                        Workspace& ws) = 0;
+
+  // Backward for the model's first parameterized layer: nothing below it
+  // consumes dL/d(input), so layers that can skip producing it override
+  // this (Linear drops one GEMM, Conv2d drops the col2im scatter and its
+  // GEMM). Default: full backward into a workspace sink. Parameter
+  // gradients are identical to backward()'s.
+  virtual void backward_params_only(const Tensor& grad_out, Workspace& ws) {
+    Tensor& sink = ws.take({});
+    backward(grad_out, sink, ws);
+  }
 
   // Views over every learnable blob (empty for stateless layers).
   virtual std::vector<ParamView> params() { return {}; }
@@ -37,15 +56,19 @@ class Layer {
   virtual std::string name() const = 0;
 };
 
-// Fully connected: y = W x + b, W is [out x in] row-major, x is [B, in].
+// Fully connected: y = x W^T + b, W is [out x in] row-major, x is [B, in].
+// Forward/backward are three GEMM calls (nt for the output, nn for dx,
+// tn for the weight gradient) plus bias broadcast/reduction.
 class Linear : public Layer {
  public:
   // `gain` scales the Xavier-uniform initialization bound (use
   // sqrt(2) ~ He for ReLU stacks, 1 for linear/tanh heads).
   Linear(std::size_t in, std::size_t out, Rng& rng, double gain = 1.0);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
+  void backward_params_only(const Tensor& grad_out, Workspace& ws) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "Linear"; }
 
@@ -55,36 +78,40 @@ class Linear : public Layer {
  private:
   std::size_t in_, out_;
   std::vector<float> w_, b_, gw_, gb_;
-  Tensor cached_input_;
+  const Tensor* cached_input_ = nullptr;  // borrowed; valid until backward
 };
 
 // Elementwise max(0, x).
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
   std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor cached_input_;
+  const Tensor* cached_input_ = nullptr;
 };
 
 // Elementwise tanh(x).
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
   std::string name() const override { return "Tanh"; }
 
  private:
-  Tensor cached_output_;
+  const Tensor* cached_output_ = nullptr;  // our own y slot, reused in bwd
 };
 
-// [B, ...] -> [B, prod(...)]. Pure reshape.
+// [B, ...] -> [B, prod(...)]. Metadata-only reshape plus one buffer copy
+// into the caller's slot (assign_from reuses its capacity).
 class Flatten : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
   std::string name() const override { return "Flatten"; }
 
  private:
@@ -97,8 +124,10 @@ class Embedding : public Layer {
  public:
   Embedding(std::size_t vocab, std::size_t dim, Rng& rng);
 
-  Tensor forward(const Tensor& ids) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& ids, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
+  void backward_params_only(const Tensor& grad_out, Workspace& ws) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "Embedding"; }
 
@@ -112,8 +141,9 @@ class Embedding : public Layer {
 // Mean over the time axis: [B, T, E] -> [B, E].
 class MeanPoolTime : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
   std::string name() const override { return "MeanPoolTime"; }
 
  private:

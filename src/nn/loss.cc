@@ -7,10 +7,18 @@ namespace signguard::nn {
 
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const int> labels) {
+  LossResult r;
+  softmax_cross_entropy_into(logits, labels, r);
+  return r;
+}
+
+void softmax_cross_entropy_into(const Tensor& logits,
+                                std::span<const int> labels,
+                                LossResult& r) {
   assert(logits.ndim() == 2 && logits.dim(0) == labels.size());
   const std::size_t batch = logits.dim(0), classes = logits.dim(1);
-  LossResult r;
-  r.dlogits = Tensor({batch, classes});
+  r.dlogits.resize({batch, classes});
+  r.correct = 0;
   double total = 0.0;
   for (std::size_t b = 0; b < batch; ++b) {
     const float* z = logits.data() + b * classes;
@@ -39,7 +47,6 @@ LossResult softmax_cross_entropy(const Tensor& logits,
     }
   }
   r.loss = total / double(batch);
-  return r;
 }
 
 }  // namespace signguard::nn

@@ -18,4 +18,9 @@ struct LossResult {
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const int> labels);
 
+// Allocation-free variant for the training hot path: writes into `out`,
+// reusing out.dlogits capacity across calls.
+void softmax_cross_entropy_into(const Tensor& logits,
+                                std::span<const int> labels, LossResult& out);
+
 }  // namespace signguard::nn

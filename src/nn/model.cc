@@ -6,19 +6,46 @@ namespace signguard::nn {
 
 Model& Model::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
+  first_param_layer_ = kFirstParamUnknown;
   return *this;
 }
 
-Tensor Model::forward(const Tensor& x) {
-  Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h);
-  return h;
+const Tensor& Model::forward(const Tensor& x) {
+  ws_.begin_pass();
+  const Tensor* h = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor& y = ws_.activation(i);
+    layers_[i]->forward(*h, y, ws_);
+    h = &y;
+  }
+  return *h;
 }
 
 void Model::backward(const Tensor& dlogits) {
-  Tensor g = dlogits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g);
+  if (first_param_layer_ == kFirstParamUnknown) {
+    first_param_layer_ = layers_.size();
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      if (!layers_[i]->params().empty()) {
+        first_param_layer_ = i;
+        break;
+      }
+    }
+  }
+  // Two ping-pong buffers: layer i reads the buffer layer i+1 wrote
+  // ((i+1) & 1) and writes its own (i & 1) — never the same slot. The
+  // chain stops at the first parameterized layer: no input gradient is
+  // consumed below it, so that layer runs its params-only backward and
+  // any parameter-free layers underneath are skipped entirely.
+  const Tensor* g = &dlogits;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    if (i == first_param_layer_) {
+      layers_[i]->backward_params_only(*g, ws_);
+      return;
+    }
+    Tensor& gx = ws_.grad_buffer(i & 1);
+    layers_[i]->backward(*g, gx, ws_);
+    g = &gx;
+  }
 }
 
 std::size_t Model::parameter_count() {

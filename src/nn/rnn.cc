@@ -1,7 +1,10 @@
 #include "nn/rnn.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "nn/gemm.h"
 
 namespace signguard::nn {
 
@@ -23,96 +26,103 @@ RnnTanh::RnnTanh(std::size_t input_dim, std::size_t hidden_dim, Rng& rng,
   for (auto& v : whh_) v = static_cast<float>(rng.uniform(-bh, bh));
 }
 
-Tensor RnnTanh::forward(const Tensor& x) {
+void RnnTanh::forward(const Tensor& x, Tensor& y, Workspace& ws) {
   assert(x.ndim() == 3 && x.dim(2) == in_);
-  cached_input_ = x;
+  cached_input_ = &x;
   const std::size_t batch = x.dim(0), time = x.dim(1);
-  hidden_states_ = Tensor({batch, time, hid_});
-  Tensor out({batch, hid_});
-  std::vector<float> h_prev(hid_);
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (auto& v : h_prev) v = 0.0f;
-    for (std::size_t t = 0; t < time; ++t) {
-      const float* xt = x.data() + (b * time + t) * in_;
-      float* ht = hidden_states_.data() + (b * time + t) * hid_;
-      for (std::size_t k = 0; k < hid_; ++k) {
-        double acc = bh_[k];
-        const float* wx = wxh_.data() + k * in_;
-        for (std::size_t e = 0; e < in_; ++e) acc += double(wx[e]) * xt[e];
-        const float* wh = whh_.data() + k * hid_;
-        for (std::size_t j = 0; j < hid_; ++j) acc += double(wh[j]) * h_prev[j];
-        ht[k] = static_cast<float>(std::tanh(acc));
-      }
-      for (std::size_t k = 0; k < hid_; ++k) h_prev[k] = ht[k];
-    }
-    float* ob = out.data() + b * hid_;
-    if (output_mode_ == RnnOutput::kLastHidden) {
-      const float* h_last =
-          hidden_states_.data() + (b * time + time - 1) * hid_;
-      for (std::size_t k = 0; k < hid_; ++k) ob[k] = h_last[k];
-    } else {
-      for (std::size_t t = 0; t < time; ++t) {
-        const float* ht = hidden_states_.data() + (b * time + t) * hid_;
-        for (std::size_t k = 0; k < hid_; ++k) ob[k] += ht[k];
-      }
-      for (std::size_t k = 0; k < hid_; ++k) ob[k] /= float(time);
+  Tensor& hidden = ws.take({batch, time, hid_});
+  hidden_states_ = &hidden;
+  Tensor& pre = ws.take({batch, hid_});
+  y.resize({batch, hid_});
+  // A fixed-t slice of a [B, T, *] tensor is a strided [B, *] matrix:
+  // row b lives at base + t*width + b*(T*width), i.e. ld = T*width.
+  const std::size_t x_stride = time * in_, h_stride = time * hid_;
+  for (std::size_t t = 0; t < time; ++t) {
+    float* p = pre.data();
+    for (std::size_t b = 0; b < batch; ++b)
+      std::copy(bh_.begin(), bh_.end(), p + b * hid_);
+    // pre = b + x_t W_xh^T + h_{t-1} W_hh^T (h_0 = 0 -> term skipped).
+    gemm_nt(batch, hid_, in_, x.data() + t * in_, x_stride, wxh_.data(), in_,
+            p, hid_, /*accumulate=*/true);
+    if (t > 0)
+      gemm_nt(batch, hid_, hid_, hidden.data() + (t - 1) * hid_, h_stride,
+              whh_.data(), hid_, p, hid_, /*accumulate=*/true);
+    float* ht = hidden.data() + t * hid_;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* pb = p + b * hid_;
+      float* hb = ht + b * h_stride;
+      for (std::size_t k = 0; k < hid_; ++k) hb[k] = std::tanh(pb[k]);
     }
   }
-  return out;
+  if (output_mode_ == RnnOutput::kLastHidden) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* h_last = hidden.data() + (b * time + time - 1) * hid_;
+      std::copy(h_last, h_last + hid_, y.data() + b * hid_);
+    }
+  } else {
+    y.zero();
+    for (std::size_t b = 0; b < batch; ++b) {
+      float* yb = y.data() + b * hid_;
+      for (std::size_t t = 0; t < time; ++t) {
+        const float* ht = hidden.data() + (b * time + t) * hid_;
+        for (std::size_t k = 0; k < hid_; ++k) yb[k] += ht[k];
+      }
+      for (std::size_t k = 0; k < hid_; ++k) yb[k] /= float(time);
+    }
+  }
 }
 
-Tensor RnnTanh::backward(const Tensor& grad_out) {
-  const std::size_t batch = cached_input_.dim(0),
-                    time = cached_input_.dim(1);
+void RnnTanh::backward(const Tensor& grad_out, Tensor& grad_in,
+                       Workspace& ws) {
+  assert(cached_input_ != nullptr && hidden_states_ != nullptr);
+  const Tensor& x = *cached_input_;
+  const Tensor& hidden = *hidden_states_;
+  const std::size_t batch = x.dim(0), time = x.dim(1);
   assert(grad_out.ndim() == 2 && grad_out.dim(1) == hid_);
-  Tensor dx({batch, time, in_});
-  std::vector<float> dh(hid_), dpre(hid_);
+  grad_in.resize({batch, time, in_});
+  Tensor& dh = ws.take({batch, hid_});
+  Tensor& dpre = ws.take({batch, hid_});
   // Under mean pooling every step receives gy/T directly, in addition to
   // the recurrent gradient flowing back from later steps.
-  const float pool_w = output_mode_ == RnnOutput::kMeanPool
-                           ? 1.0f / float(time)
-                           : 0.0f;
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* gy = grad_out.data() + b * hid_;
-    if (output_mode_ == RnnOutput::kLastHidden) {
-      for (std::size_t k = 0; k < hid_; ++k) dh[k] = gy[k];
-    } else {
-      for (std::size_t k = 0; k < hid_; ++k) dh[k] = gy[k] * pool_w;
-    }
-    for (std::size_t t = time; t-- > 0;) {
-      const float* ht = hidden_states_.data() + (b * time + t) * hid_;
-      const float* xt = cached_input_.data() + (b * time + t) * in_;
-      float* gxt = dx.data() + (b * time + t) * in_;
-      // dpre = dh * (1 - h^2): gradient at the pre-activation.
+  const float pool_w =
+      output_mode_ == RnnOutput::kMeanPool ? 1.0f / float(time) : 0.0f;
+  const float* gy = grad_out.data();
+  {
+    const float seed_w = output_mode_ == RnnOutput::kLastHidden ? 1.0f
+                                                                : pool_w;
+    for (std::size_t i = 0; i < batch * hid_; ++i) dh[i] = gy[i] * seed_w;
+  }
+  const std::size_t x_stride = time * in_, h_stride = time * hid_;
+  for (std::size_t t = time; t-- > 0;) {
+    // dpre = dh * (1 - h_t^2): gradient at the pre-activation.
+    const float* ht = hidden.data() + t * hid_;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* hb = ht + b * h_stride;
+      const float* dhb = dh.data() + b * hid_;
+      float* dpb = dpre.data() + b * hid_;
       for (std::size_t k = 0; k < hid_; ++k)
-        dpre[k] = dh[k] * (1.0f - ht[k] * ht[k]);
-      const float* h_prev =
-          t > 0 ? hidden_states_.data() + (b * time + t - 1) * hid_ : nullptr;
-      for (std::size_t k = 0; k < hid_; ++k) {
-        const float g = dpre[k];
-        if (g == 0.0f) continue;
-        gbh_[k] += g;
-        float* gwx = gwxh_.data() + k * in_;
-        for (std::size_t e = 0; e < in_; ++e) {
-          gwx[e] += g * xt[e];
-          gxt[e] += g * wxh_[k * in_ + e];
-        }
-        if (h_prev != nullptr) {
-          float* gwh = gwhh_.data() + k * hid_;
-          for (std::size_t j = 0; j < hid_; ++j) gwh[j] += g * h_prev[j];
-        }
-      }
+        dpb[k] = dhb[k] * (1.0f - hb[k] * hb[k]);
+    }
+    add_col_sums(dpre.data(), batch, hid_, hid_, gbh_.data());
+    // gW_xh += dpre^T x_t ; dx_t = dpre W_xh
+    gemm_tn(hid_, in_, batch, dpre.data(), hid_, x.data() + t * in_, x_stride,
+            gwxh_.data(), in_, /*accumulate=*/true);
+    gemm_nn(batch, in_, hid_, dpre.data(), hid_, wxh_.data(), in_,
+            grad_in.data() + t * in_, x_stride, /*accumulate=*/false);
+    if (t > 0) {
+      gemm_tn(hid_, hid_, batch, dpre.data(), hid_,
+              hidden.data() + (t - 1) * hid_, h_stride, gwhh_.data(), hid_,
+              /*accumulate=*/true);
       // dh for the previous step: recurrent flow through W_hh plus the
-      // direct mean-pool contribution (zero in last-hidden mode).
-      for (std::size_t j = 0; j < hid_; ++j) {
-        double acc = double(pool_w) * double(gy[j]);
-        for (std::size_t k = 0; k < hid_; ++k)
-          acc += double(dpre[k]) * double(whh_[k * hid_ + j]);
-        dh[j] = static_cast<float>(acc);
-      }
+      // direct mean-pool contribution (zero in last-hidden mode). Not
+      // needed after the t == 0 step — there is no previous step.
+      gemm_nn(batch, hid_, hid_, dpre.data(), hid_, whh_.data(), hid_,
+              dh.data(), hid_, /*accumulate=*/false);
+      if (pool_w != 0.0f)
+        for (std::size_t i = 0; i < batch * hid_; ++i)
+          dh[i] += pool_w * gy[i];
     }
   }
-  return dx;
 }
 
 std::vector<ParamView> RnnTanh::params() {

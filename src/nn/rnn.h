@@ -1,7 +1,10 @@
 #pragma once
 // Vanilla tanh recurrent layer with full backpropagation through time —
 // the recurrent core of the TextRNN stand-in for the paper's AG-News
-// bi-LSTM classifier.
+// bi-LSTM classifier. Each timestep is two batch-level GEMMs
+// (x_t W_xh^T and h_{t-1} W_hh^T) over strided [B, *] slices of the
+// [B, T, *] tensors; the hidden-state history lives in the Workspace
+// arena and is borrowed across forward->backward.
 
 #include <vector>
 
@@ -22,8 +25,9 @@ class RnnTanh : public Layer {
   RnnTanh(std::size_t input_dim, std::size_t hidden_dim, Rng& rng,
           RnnOutput output_mode = RnnOutput::kLastHidden);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward(const Tensor& x, Tensor& y, Workspace& ws) override;
+  void backward(const Tensor& grad_out, Tensor& grad_in,
+                Workspace& ws) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "RnnTanh"; }
 
@@ -32,8 +36,8 @@ class RnnTanh : public Layer {
   RnnOutput output_mode_;
   std::vector<float> wxh_, whh_, bh_;    // [H x E], [H x H], [H]
   std::vector<float> gwxh_, gwhh_, gbh_;
-  Tensor cached_input_;                  // [B, T, E]
-  Tensor hidden_states_;                 // [B, T, H] (post-tanh)
+  const Tensor* cached_input_ = nullptr;  // [B, T, E], borrowed
+  const Tensor* hidden_states_ = nullptr; // [B, T, H] ws slot (post-tanh)
 };
 
 }  // namespace signguard::nn

@@ -1,12 +1,13 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 
 namespace signguard::nn {
 
 namespace {
-std::size_t product(const std::vector<std::size_t>& shape) {
+std::size_t product(std::span<const std::size_t> shape) {
   return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
                          std::multiplies<>());
 }
@@ -19,12 +20,43 @@ Tensor Tensor::zeros(std::vector<std::size_t> shape) {
   return Tensor(std::move(shape));
 }
 
-Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const& {
   assert(product(new_shape) == numel());
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.data_ = data_;
   return t;
 }
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) && {
+  assert(product(new_shape) == numel());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = std::move(data_);
+  // Leave *this empty-consistent: a stale shape over a moved-out buffer
+  // would defeat resize()'s same-shape early return.
+  shape_.clear();
+  return t;
+}
+
+void Tensor::reshape_in_place(std::span<const std::size_t> new_shape) {
+  assert(product(new_shape) == numel());
+  shape_.assign(new_shape.begin(), new_shape.end());
+}
+
+void Tensor::resize(std::span<const std::size_t> shape) {
+  if (shape_.size() == shape.size() &&
+      std::equal(shape.begin(), shape.end(), shape_.begin()))
+    return;  // steady state: no shape churn, no allocation
+  shape_.assign(shape.begin(), shape.end());
+  data_.resize(product(shape));
+}
+
+void Tensor::assign_from(const Tensor& src) {
+  shape_.assign(src.shape_.begin(), src.shape_.end());
+  data_.assign(src.data_.begin(), src.data_.end());
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 }  // namespace signguard::nn

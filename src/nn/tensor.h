@@ -1,10 +1,16 @@
 #pragma once
 // Minimal dense tensor: a shape plus a flat row-major float buffer. The
 // neural-network layers index it manually; no broadcasting or views. This
-// is deliberately small — the library's hot path is the layer loops, and
-// gradients leave the NN world as flat std::vector<float> buffers anyway.
+// is deliberately small — the hot path is the GEMM-backed layer kernels,
+// and gradients leave the NN world as flat std::vector<float> buffers.
+//
+// Capacity contract: resize(), assign_from() and zero() never release
+// storage, so a Tensor that lives in a Workspace slot (or as a layer's
+// scratch member) reaches a steady state after the first batch and does
+// no further heap allocation.
 
 #include <cstddef>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -31,7 +37,33 @@ class Tensor {
   float operator[](std::size_t i) const { return data_[i]; }
 
   // Same buffer, different shape. Precondition: product(new_shape)==numel().
-  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+  // The rvalue overload moves the buffer instead of copying it, so
+  // `std::move(t).reshaped(...)` is a metadata-only operation.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const&;
+  Tensor reshaped(std::vector<std::size_t> new_shape) &&;
+
+  // In-place metadata-only reshape. Precondition as above.
+  void reshape_in_place(std::span<const std::size_t> new_shape);
+  void reshape_in_place(std::initializer_list<std::size_t> s) {
+    reshape_in_place(std::span<const std::size_t>(s.begin(), s.size()));
+  }
+
+  // Re-shapes this tensor, reusing existing storage (never shrinks
+  // capacity). New elements are zero; surviving elements keep their
+  // values — callers are expected to overwrite the buffer fully.
+  void resize(std::span<const std::size_t> shape);
+  void resize(std::initializer_list<std::size_t> s) {
+    resize(std::span<const std::size_t>(s.begin(), s.size()));
+  }
+
+  // Shape + contents of `src`, reusing this tensor's capacity.
+  void assign_from(const Tensor& src);
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // Allocated storage in floats (>= numel); for workspace-growth tests.
+  std::size_t capacity() const { return data_.capacity(); }
 
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 

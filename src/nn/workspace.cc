@@ -1,0 +1,30 @@
+#include "nn/workspace.h"
+
+namespace signguard::nn {
+
+Tensor& Workspace::take(std::span<const std::size_t> shape) {
+  if (cursor_ == scratch_.size()) scratch_.emplace_back();
+  Tensor& t = scratch_[cursor_++];
+  t.resize(shape);
+  return t;
+}
+
+Tensor& Workspace::activation(std::size_t i) {
+  while (acts_.size() <= i) acts_.emplace_back();
+  return acts_[i];
+}
+
+Tensor& Workspace::grad_buffer(std::size_t i) {
+  while (grads_.size() <= i) grads_.emplace_back();
+  return grads_[i];
+}
+
+std::size_t Workspace::capacity_floats() const {
+  std::size_t total = 0;
+  for (const auto& t : scratch_) total += t.capacity();
+  for (const auto& t : acts_) total += t.capacity();
+  for (const auto& t : grads_) total += t.capacity();
+  return total;
+}
+
+}  // namespace signguard::nn

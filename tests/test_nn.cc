@@ -16,6 +16,7 @@
 #include "nn/optimizer.h"
 #include "nn/rnn.h"
 #include "nn/tensor.h"
+#include "nn/workspace.h"
 
 namespace signguard::nn {
 namespace {
@@ -212,17 +213,20 @@ TEST(GradCheck, RnnWithBptt) {
 
 TEST(MaxPool, ForwardSelectsMaxAndRoutesGradient) {
   MaxPool2 pool;
+  Workspace ws;
   Tensor x({1, 1, 2, 2});
   x[0] = 1.0f;
   x[1] = 5.0f;
   x[2] = -1.0f;
   x[3] = 2.0f;
-  const Tensor y = pool.forward(x);
+  Tensor y;
+  pool.forward(x, y, ws);
   EXPECT_EQ(y.numel(), 1u);
   EXPECT_FLOAT_EQ(y[0], 5.0f);
   Tensor dy({1, 1, 1, 1});
   dy[0] = 3.0f;
-  const Tensor dx = pool.backward(dy);
+  Tensor dx;
+  pool.backward(dy, dx, ws);
   EXPECT_FLOAT_EQ(dx[1], 3.0f);
   EXPECT_FLOAT_EQ(dx[0], 0.0f);
 }
