@@ -1,0 +1,239 @@
+// Large-cohort aggregation microbench: per-GAR server-side latency on the
+// cohort grid n x {50, 256, 1024} x d x {100k, 1M} — the ROADMAP's
+// "millions of users" direction stresses exactly the O(n^2 d) pairwise
+// and O(n d log n) coordinate-statistic blocks the Table I defenses pay
+// every round — plus Gram-vs-direct speedups for the pairwise backends.
+// Emits machine-readable JSON (default BENCH_aggregate.json) for the
+// bench trajectory and CI artifact upload.
+//
+// Usage:
+//   ./aggregate_microbench [--json=BENCH_aggregate.json] [--min-ms=200]
+//                          [--gars=Mean,Multi-Krum] [--max-n=N] [--max-d=D]
+//                          [--assert-krum-speedup=3.0]
+//
+// --assert-krum-speedup makes the binary exit non-zero unless the Gram
+// backend beats the direct pair loops on the Multi-Krum n=256, d=1M
+// aggregate by at least the given factor — CI uses it as a smoke guard
+// against a silent fallback to the scalar pairwise path.
+//
+// Everything is timed on ONE pool thread (set_thread_count(1)): the
+// committed numbers compare kernel structure (GEMM tiling vs scalar
+// loops, column panels vs strided walks), not core counts, and stay
+// comparable across hosts. Shapes a rule cannot afford are skipped
+// loudly (printed, never silently dropped): the O(n^2 d) and
+// O(iters * n d) rules skip the 1024 x 1M cell, which only the O(n d)
+// family (Mean/TrMean/Median/SignGuard) runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/gradient_matrix.h"
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/vecops.h"
+#include "fl/experiment.h"
+
+namespace signguard {
+namespace {
+
+using bench::Stopwatch;
+
+double min_ms = 200.0;
+
+// Best single-run wall time in microseconds. Expensive ops (seconds per
+// run at the large shapes) naturally get one measurement; cheap ones
+// repeat until the budget is spent so scheduler noise cannot dominate.
+double time_usec(const std::function<void()>& op) {
+  double best = 1e300;
+  Stopwatch budget;
+  do {
+    Stopwatch w;
+    op();
+    best = std::min(best, w.seconds() * 1e6);
+  } while (budget.seconds() * 1e3 < min_ms);
+  return best;
+}
+
+struct Entry {
+  std::string group, name, backend;
+  std::size_t n = 0, d = 0;
+  double usec = 0.0;
+  double rate = 0.0;  // runs/s, or the speedup factor for group=speedup
+};
+
+std::vector<Entry> entries;
+
+void record(const std::string& group, const std::string& name,
+            const std::string& backend, std::size_t n, std::size_t d,
+            double usec, double rate) {
+  entries.push_back({group, name, backend, n, d, usec, rate});
+  std::printf("%-8s %-14s %-14s n=%-5zu d=%-8zu %12.1f us  %10.3f\n",
+              group.c_str(), name.c_str(), backend.c_str(), n, d, usec,
+              rate);
+}
+
+// Deterministic cheap fill (splitmix64 of the flat index): benchmark
+// inputs must not depend on how fast the RNG can stream a 4 GB matrix.
+common::GradientMatrix make_matrix(std::size_t n, std::size_t d) {
+  common::GradientMatrix m(n, d);
+  common::parallel_for(n, [&](std::size_t i) {
+    const auto row = m.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const std::uint64_t h = common::splitmix64(i * d + j);
+      row[j] = static_cast<float>((double(h >> 11) * 0x1.0p-53 - 0.5) * 2.0 +
+                                  0.1);
+    }
+  });
+  return m;
+}
+
+const char* backend_name(vec::DistBackend b) {
+  return b == vec::DistBackend::kGram ? "gram" : "direct";
+}
+
+// Which rules can afford which cells. The 1024 x 1M cell (4 GB, ~10^12
+// scalar flops for a pairwise block) is reserved for the O(n d) family.
+bool runs_at(const std::string& gar, std::size_t n, std::size_t d) {
+  const bool huge = n * d > std::size_t{256} * 1'000'000;
+  if (!huge) return true;
+  return gar == "Mean" || gar == "TrMean" || gar == "Median" ||
+         gar == "SignGuard";
+}
+
+double time_gar(const std::string& name, const common::GradientMatrix& m) {
+  auto gar = fl::make_aggregator(name);
+  Rng rng(7);
+  agg::GarContext ctx;
+  ctx.assumed_byzantine = m.rows() / 5;
+  ctx.rng = &rng;
+  return time_usec([&] {
+    auto out = gar->aggregate(m, ctx);
+    // The result feeds the entry count so the call cannot be elided.
+    if (out.empty()) std::abort();
+  });
+}
+
+std::string shape_tag(std::size_t n, std::size_t d) {
+  return std::to_string(n) + "x" + (d >= 1'000'000 ? "1M" : "100k");
+}
+
+void write_json(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"schema\": \"signguard/aggregate_microbench/v1\",\n"
+      << "  \"threads\": 1,\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << "    {\"group\": \"" << e.group << "\", \"name\": \"" << e.name
+        << "\", \"backend\": \"" << e.backend << "\", \"n\": " << e.n
+        << ", \"d\": " << e.d << ", \"usec\": " << e.usec
+        << ", \"rate\": " << e.rate << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+}
+
+}  // namespace
+}  // namespace signguard
+
+int main(int argc, char** argv) {
+  using namespace signguard;
+  bench::banner("aggregate_microbench", fl::scale_from_env());
+  min_ms = std::stod(bench::arg_value(argc, argv, "min-ms", "200"));
+  const std::string json_path =
+      bench::arg_value(argc, argv, "json", "BENCH_aggregate.json");
+  const std::string assert_arg =
+      bench::arg_value(argc, argv, "assert-krum-speedup", "");
+  const auto gar_filter = bench::arg_values(argc, argv, "gars");
+  const std::size_t max_n = std::strtoull(
+      bench::arg_value(argc, argv, "max-n", "1024").c_str(), nullptr, 10);
+  const std::size_t max_d = std::strtoull(
+      bench::arg_value(argc, argv, "max-d", "1000000").c_str(), nullptr, 10);
+
+  static const std::vector<std::string> kGars = {
+      "Mean",       "TrMean", "Median", "GeoMed",
+      "Multi-Krum", "Bulyan", "DnC",    "SignGuard"};
+  static const std::size_t kCohorts[] = {50, 256, 1024};
+  static const std::size_t kDims[] = {100'000, 1'000'000};
+
+  // One pool thread for every measurement (see the header comment).
+  common::set_thread_count(1);
+
+  double krum_speedup_256x1m = 0.0;
+
+  // Shape-outer so at most one cohort matrix is resident (the 1024 x 1M
+  // cell alone is 4 GB).
+  for (const std::size_t d : kDims) {
+    if (d > max_d) continue;
+    for (const std::size_t n : kCohorts) {
+      if (n > max_n) continue;
+      const auto m = make_matrix(n, d);
+      // Gram-vs-direct cells: the pairwise kernel everywhere it is
+      // affordable, plus the full Multi-Krum aggregate (the paper's
+      // flagship O(n^2 d) defense) — n=256, d=1M is the asserted pair.
+      const bool speedup_cell =
+          (d == 100'000 && n <= 256) || (d == 1'000'000 && n == 256);
+
+      // Per-GAR timings on the default (Gram) backend.
+      vec::set_dist_backend(vec::DistBackend::kGram);
+      for (const auto& gar : kGars) {
+        if (!bench::keep(gar_filter, gar)) continue;
+        if (gar == "Multi-Krum" && speedup_cell)
+          continue;  // timed on both backends below
+        if (!runs_at(gar, n, d)) {
+          std::printf("%-8s %-14s skipped at n=%zu d=%zu (cost cap)\n",
+                      "gar", gar.c_str(), n, d);
+          continue;
+        }
+        const double usec = time_gar(gar, m);
+        record("gar", gar, "gram", n, d, usec, 1e6 / usec);
+      }
+
+      if (speedup_cell && bench::keep(gar_filter, "Multi-Krum")) {
+        double usec_by_backend[2] = {0.0, 0.0};
+        for (const auto backend :
+             {vec::DistBackend::kDirect, vec::DistBackend::kGram}) {
+          vec::set_dist_backend(backend);
+          const double kernel_usec = time_usec([&] {
+            auto d2 = vec::pairwise_dist2_packed(m);
+            if (d2.empty()) std::abort();
+          });
+          record("kernel", "pairwise_dist2", backend_name(backend), n, d,
+                 kernel_usec, 1e6 / kernel_usec);
+          const double gar_usec = time_gar("Multi-Krum", m);
+          record("gar", "Multi-Krum", backend_name(backend), n, d, gar_usec,
+                 1e6 / gar_usec);
+          usec_by_backend[backend == vec::DistBackend::kGram ? 1 : 0] =
+              gar_usec;
+        }
+        vec::set_dist_backend(vec::DistBackend::kGram);
+        const double speedup = usec_by_backend[0] / usec_by_backend[1];
+        record("speedup", "krum_" + shape_tag(n, d), "gram_vs_direct", n, d,
+               usec_by_backend[1], speedup);
+        if (n == 256 && d == 1'000'000) krum_speedup_256x1m = speedup;
+      }
+    }
+  }
+
+  write_json(json_path);
+
+  if (!assert_arg.empty()) {
+    const double need = std::stod(assert_arg);
+    if (krum_speedup_256x1m < need) {
+      std::fprintf(stderr,
+                   "FAIL: Gram Multi-Krum speedup %.2fx < required %.2fx at "
+                   "n=256, d=1M — Gram path regressed or silently fell back\n",
+                   krum_speedup_256x1m, need);
+      return 1;
+    }
+    std::printf("krum speedup %.2fx >= required %.2fx\n",
+                krum_speedup_256x1m, need);
+  }
+  return 0;
+}

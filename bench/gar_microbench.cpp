@@ -15,8 +15,11 @@
 //   ./gar_microbench --benchmark_filter='SignGuard_50x1M'
 // compares SignGuard aggregation at n=50, d=1M across pool sizes, and
 //   ./gar_microbench --benchmark_filter='kernel_'
-// prints the per-kernel timings (row norms, pairwise block, fused sign
-// stats, clipped mean) the CI job logs.
+// prints the per-kernel timings (row norms, pairwise block on both
+// SIGNGUARD_DIST backends, fused sign stats, clipped mean) the CI job
+// logs. The committed large-cohort numbers (n up to 1024, d up to 1M,
+// Gram-vs-direct speedups, BENCH_aggregate.json) come from the sibling
+// aggregate_microbench binary.
 
 #include <benchmark/benchmark.h>
 
@@ -129,16 +132,27 @@ void register_kernels() {
         })
         ->Args({50, 1 << 20})
         ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
-        ("kernel_pairwise_dist2" + suffix).c_str(),
-        [t](benchmark::State& s) {
-          run_kernel(s, t, [](const common::GradientMatrix& m) {
-            auto d2 = vec::pairwise_dist2(m);
-            benchmark::DoNotOptimize(d2.data());
-          });
-        })
-        ->Args({50, 1 << 17})
-        ->Unit(benchmark::kMillisecond);
+    // The pairwise block on both DistBackends: the Gram GEMM path the
+    // aggregators use by default, and the scalar pair loops kept as the
+    // SIGNGUARD_DIST=direct reference.
+    for (const auto backend :
+         {vec::DistBackend::kGram, vec::DistBackend::kDirect}) {
+      const auto bname =
+          backend == vec::DistBackend::kGram ? "gram" : "direct";
+      benchmark::RegisterBenchmark(
+          ("kernel_pairwise_dist2/" + std::string(bname) + suffix).c_str(),
+          [t, backend](benchmark::State& s) {
+            const auto ambient = vec::dist_backend();
+            vec::set_dist_backend(backend);
+            run_kernel(s, t, [](const common::GradientMatrix& m) {
+              auto d2 = vec::pairwise_dist2(m);
+              benchmark::DoNotOptimize(d2.data());
+            });
+            vec::set_dist_backend(ambient);
+          })
+          ->Args({50, 1 << 17})
+          ->Unit(benchmark::kMillisecond);
+    }
     benchmark::RegisterBenchmark(
         ("kernel_sign_stats" + suffix).c_str(),
         [t](benchmark::State& s) {

@@ -1,13 +1,11 @@
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
 
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
 #include "common/gradient_stats.h"
-#include "common/parallel.h"
 #include "common/quantiles.h"
+#include "common/vecops.h"
 
 namespace signguard::agg {
 
@@ -15,59 +13,50 @@ std::vector<float> BulyanAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
   const std::size_t n = grads.rows();
-  const std::size_t d = grads.cols();
   const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
 
   // Phase 1: iterative Krum. Repeatedly pick the gradient with the lowest
   // Krum score among the remaining set and move it to the selection set,
-  // until theta = n - 2m gradients are selected. The pairwise block is
-  // threaded; the selection loop is cheap (distances are precomputed).
+  // until theta = n - 2m gradients are selected. One packed pairwise
+  // block is computed up front (Gram GEMM or direct loops) and reused
+  // across every iteration; removals only flip the exclusion mask.
   const std::size_t theta = std::max<std::size_t>(1, n - 2 * m);
   const PairwiseDistances pd(grads);
-  std::vector<std::size_t> remaining(n);
-  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<char> excluded(n, 0);
+  std::size_t remaining = n;
   selected_.clear();
   std::vector<double> row;
-  while (selected_.size() < theta && !remaining.empty()) {
-    const std::size_t r = remaining.size();
+  while (selected_.size() < theta && remaining > 0) {
     // Krum neighborhood within the remaining set.
     const std::size_t k =
-        std::max<std::size_t>(1, r > m + 2 ? r - m - 2 : 1);
+        std::max<std::size_t>(1, remaining > m + 2 ? remaining - m - 2 : 1);
     double best_score = std::numeric_limits<double>::max();
-    std::size_t best_pos = 0;
-    for (std::size_t a = 0; a < r; ++a) {
-      row.clear();
-      for (std::size_t b = 0; b < r; ++b)
-        if (b != a) row.push_back(pd.dist2(remaining[a], remaining[b]));
-      const std::size_t kk = std::min(k, row.size());
-      if (kk > 0)
-        std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(kk),
-                          row.end());
-      const double score = std::accumulate(
-          row.begin(), row.begin() + std::ptrdiff_t(kk), 0.0);
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (excluded[i]) continue;
+      const double score = pd.krum_score(i, k, excluded, row);
       if (score < best_score) {
         best_score = score;
-        best_pos = a;
+        best = i;
       }
     }
-    selected_.push_back(remaining[best_pos]);
-    remaining.erase(remaining.begin() + std::ptrdiff_t(best_pos));
+    selected_.push_back(best);
+    excluded[best] = 1;
+    --remaining;
   }
 
   // Phase 2: per coordinate, average the beta = theta - 2m selected values
-  // closest to the coordinate median — parallel over coordinate ranges
-  // with a per-chunk column buffer.
+  // closest to the coordinate median. The selected rows are transposed
+  // tile-by-tile into contiguous column panels (vec::for_each_column), so
+  // the selection statistic never walks the matrix at stride d.
   const std::size_t beta =
       std::max<std::size_t>(1, theta > 2 * m ? theta - 2 * m : 1);
-  std::vector<float> out(d);
-  common::parallel_chunks(
-      d, [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<double> column(selected_.size());
-        for (std::size_t j = begin; j < end; ++j) {
-          for (std::size_t i = 0; i < selected_.size(); ++i)
-            column[i] = double(grads.at(selected_[i], j));
-          out[j] = static_cast<float>(stats::mean_around_median(column, beta));
-        }
+  std::vector<float> out(grads.cols());
+  thread_local std::vector<double> column;
+  vec::for_each_column(
+      grads, selected_, [&](std::size_t j, std::span<float> col) {
+        column.assign(col.begin(), col.end());
+        out[j] = static_cast<float>(stats::mean_around_median(column, beta));
       });
   return out;
 }

@@ -15,13 +15,17 @@ std::vector<float> GeoMedAggregator::aggregate(
   const std::size_t d = grads.cols();
   // Weiszfeld: x <- sum_i(g_i / ||g_i - x||) / sum_i(1 / ||g_i - x||),
   // starting from the arithmetic mean. Per iteration, the n distances to
-  // x fan out over rows and the weighted column accumulation over
-  // coordinate ranges. The convergence statistic is reduced sequentially
-  // from per-coordinate deltas so the stopping decision (and thus the
-  // result) is identical for any thread count.
+  // x fan out over rows and the weighted accumulation runs as row-major
+  // w[i] * row(i) axpy passes over small coordinate tiles — each row
+  // segment is read sequentially and the tile accumulator stays cache
+  // resident, instead of the per-coordinate stride-d walk. Per
+  // coordinate the accumulation order over rows is unchanged, so the
+  // iterates (and the sequentially reduced stopping statistic) are
+  // bit-identical to the untiled sweep for any thread count.
   std::vector<float> x = vec::mean_of(grads);
   std::vector<double> w(n);
   std::vector<double> delta2(d);
+  constexpr std::size_t kTile = vec::kAccumulatorTile;
   for (std::size_t iter = 0; iter < max_iters_; ++iter) {
     common::parallel_for(n, [&](std::size_t i) {
       w[i] = 1.0 / std::max(vec::dist(grads.row(i), x), eps_);
@@ -30,14 +34,22 @@ std::vector<float> GeoMedAggregator::aggregate(
     for (const double wi : w) denom += wi;
     common::parallel_chunks(
         d, [&](std::size_t begin, std::size_t end, std::size_t) {
-          for (std::size_t j = begin; j < end; ++j) {
-            double numer = 0.0;
-            for (std::size_t i = 0; i < n; ++i)
-              numer += w[i] * double(grads.at(i, j));
-            const double nx = numer / denom;
-            const double delta = nx - double(x[j]);
-            delta2[j] = delta * delta;
-            x[j] = static_cast<float>(nx);
+          std::vector<double> acc(std::min(kTile, end - begin));
+          for (std::size_t t0 = begin; t0 < end; t0 += kTile) {
+            const std::size_t t1 = std::min(end, t0 + kTile);
+            std::fill(acc.begin(), acc.begin() + std::ptrdiff_t(t1 - t0),
+                      0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+              const auto row = grads.row(i);
+              for (std::size_t j = t0; j < t1; ++j)
+                acc[j - t0] += w[i] * double(row[j]);
+            }
+            for (std::size_t j = t0; j < t1; ++j) {
+              const double nx = acc[j - t0] / denom;
+              const double delta = nx - double(x[j]);
+              delta2[j] = delta * delta;
+              x[j] = static_cast<float>(nx);
+            }
           }
         });
     double movement = 0.0;

@@ -19,32 +19,30 @@ std::vector<float> MultiKrumAggregator::aggregate(
   const std::size_t k =
       std::max<std::size_t>(1, n > m + 2 ? n - m - 2 : 1);
 
-  // The O(n^2 d) pairwise block fans out over pairs; the O(n^2 log n)
-  // score selection fans out over rows.
+  // The O(n^2 d) pairwise block runs as one Gram GEMM (or the direct
+  // pair loops under SIGNGUARD_DIST=direct); the O(n^2 log n) score
+  // selection fans out over rows.
   const PairwiseDistances pd(grads);
   std::vector<double> scores(n, 0.0);
   common::parallel_chunks(
       n, [&](std::size_t begin, std::size_t end, std::size_t) {
         std::vector<double> row;  // one scratch buffer per chunk
-        for (std::size_t i = begin; i < end; ++i) {
-          row.clear();
-          for (std::size_t j = 0; j < n; ++j)
-            if (j != i) row.push_back(pd.dist2(i, j));
-          const std::size_t kk = std::min(k, row.size());
-          std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(kk),
-                            row.end());
-          scores[i] = std::accumulate(
-              row.begin(), row.begin() + std::ptrdiff_t(kk), 0.0);
-        }
+        for (std::size_t i = begin; i < end; ++i)
+          scores[i] = pd.krum_score(i, k, {}, row);
       });
 
-  // Select the k best-scored gradients and average them.
+  // Select the k best-scored gradients and average them. Only the top k
+  // need ordering, so partial_sort the index array instead of fully
+  // sorting all n scores; ties break on the lower index, which both a
+  // full sort and the partial sort resolve identically.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return scores[a] < scores[b];
-  });
   const std::size_t select = std::min(k, n);
+  const auto by_score = [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b] || (scores[a] == scores[b] && a < b);
+  };
+  std::partial_sort(order.begin(), order.begin() + std::ptrdiff_t(select),
+                    order.end(), by_score);
   selected_.assign(order.begin(), order.begin() + std::ptrdiff_t(select));
   return vec::mean_of_subset(grads, selected_);
 }

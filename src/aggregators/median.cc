@@ -2,7 +2,7 @@
 
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
-#include "common/parallel.h"
+#include "common/vecops.h"
 
 namespace signguard::agg {
 
@@ -10,27 +10,25 @@ std::vector<float> MedianAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
   const std::size_t n = grads.rows();
-  const std::size_t d = grads.cols();
-  std::vector<float> out(d);
+  std::vector<float> out(grads.cols());
   const std::size_t mid = n / 2;
-  // Coordinate-parallel: each chunk owns a column buffer and a disjoint
-  // coordinate range, so results match the sequential scan exactly.
-  common::parallel_chunks(
-      d, [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<float> column(n);
-        for (std::size_t j = begin; j < end; ++j) {
-          for (std::size_t i = 0; i < n; ++i) column[i] = grads.at(i, j);
-          std::nth_element(column.begin(), column.begin() + mid,
-                           column.end());
-          if (n % 2 == 1) {
-            out[j] = column[mid];
-          } else {
-            const float lo =
-                *std::max_element(column.begin(), column.begin() + mid);
-            out[j] = 0.5f * (lo + column[mid]);
-          }
-        }
-      });
+  // Column-panel sweep: fixed-width column tiles are transposed once into
+  // a contiguous per-worker panel (vec::for_each_column), then each
+  // column is an in-place nth_element over contiguous floats — no
+  // per-coordinate stride-d gather. The column holds the same values in
+  // the same row order as the old per-coordinate copy, so the selected
+  // median is bitwise unchanged.
+  vec::for_each_column(grads, {}, [&](std::size_t j, std::span<float> col) {
+    std::nth_element(col.begin(), col.begin() + std::ptrdiff_t(mid),
+                     col.end());
+    if (n % 2 == 1) {
+      out[j] = col[mid];
+    } else {
+      const float lo =
+          *std::max_element(col.begin(), col.begin() + std::ptrdiff_t(mid));
+      out[j] = 0.5f * (lo + col[mid]);
+    }
+  });
   return out;
 }
 

@@ -59,40 +59,56 @@ std::vector<std::vector<float>> craft_perturbed(
   const auto dp = make_perturbation(ctx.benign_grads, perturbation);
   const std::size_t nb = ctx.benign_grads.size();
 
-  // Benign-to-benign distance bounds (right-hand sides of Eqs. 14/15).
+  // Benign-to-benign distance bounds (right-hand sides of Eqs. 14/15),
+  // from one backend-dispatched pairwise block (Gram GEMM by default)
+  // over the gathered benign rows.
+  const auto benign = common::GradientMatrix::from_views(ctx.benign_grads);
+  const auto d2 = vec::pairwise_dist2(benign);
   double max_pair_d2 = 0.0;
-  std::vector<double> sum_d2(nb, 0.0);
+  double max_sum_d2 = 0.0;
   for (std::size_t i = 0; i < nb; ++i) {
-    for (std::size_t j = i + 1; j < nb; ++j) {
-      const double d2 = vec::dist2(ctx.benign_grads[i], ctx.benign_grads[j]);
-      max_pair_d2 = std::max(max_pair_d2, d2);
-      sum_d2[i] += d2;
-      sum_d2[j] += d2;
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < nb; ++j) {
+      max_pair_d2 = std::max(max_pair_d2, d2[i * nb + j]);
+      row_sum += d2[i * nb + j];
     }
+    max_sum_d2 = std::max(max_sum_d2, row_sum);
   }
-  const double max_sum_d2 =
-      nb > 0 ? *std::max_element(sum_d2.begin(), sum_d2.end()) : 0.0;
 
-  auto gm_for = [&](double gamma) {
-    auto gm = avg;
-    vec::axpy(gamma, dp, gm);
-    return gm;
-  };
+  // The crafted gradient is gm(gamma) = avg + gamma * dp, so
+  //   dist2(gm, g_i) = ||avg||^2 + 2 gamma <avg,dp> + gamma^2 ||dp||^2
+  //                    + ||g_i||^2 - 2 (<g_i,avg> + gamma <g_i,dp>).
+  // Every gamma-independent term is computed once (three O(nb d) passes);
+  // the bisection then evaluates each candidate in O(nb) scalar ops
+  // instead of re-walking all nb gradients at O(d) per probe.
+  const auto avg_dots = vec::row_dots(benign, avg);
+  const auto dp_dots = vec::row_dots(benign, dp);
+  const auto norms = vec::row_norms(benign);
+  const double avg2 = vec::dot(avg, avg);
+  const double dp2 = vec::dot(dp, dp);
+  const double avg_dp = vec::dot(avg, dp);
+
   auto feasible = [&](double gamma) {
-    const auto gm = gm_for(gamma);
+    const double gm2 = avg2 + 2.0 * gamma * avg_dp + gamma * gamma * dp2;
     if (min_max) {
       double worst = 0.0;
-      for (const auto& g : ctx.benign_grads)
-        worst = std::max(worst, vec::dist2(gm, g));
+      for (std::size_t i = 0; i < nb; ++i) {
+        const double di = gm2 + norms[i] * norms[i] -
+                          2.0 * (avg_dots[i] + gamma * dp_dots[i]);
+        worst = std::max(worst, di);
+      }
       return worst <= max_pair_d2;
     }
     double total = 0.0;
-    for (const auto& g : ctx.benign_grads) total += vec::dist2(gm, g);
+    for (std::size_t i = 0; i < nb; ++i)
+      total += gm2 + norms[i] * norms[i] -
+               2.0 * (avg_dots[i] + gamma * dp_dots[i]);
     return total <= max_sum_d2;
   };
 
   gamma_out = max_feasible_gamma(feasible);
-  const auto gm = gm_for(gamma_out);
+  auto gm = avg;
+  vec::axpy(gamma_out, dp, gm);
   return std::vector<std::vector<float>>(ctx.n_byzantine, gm);
 }
 

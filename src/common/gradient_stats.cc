@@ -1,5 +1,6 @@
 #include "common/gradient_stats.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -70,18 +71,27 @@ std::vector<std::size_t> select_coordinates(std::size_t d, double frac,
 
 PairwiseDistances::PairwiseDistances(
     std::span<const std::vector<float>> grads)
-    : n_(grads.size()), d2_(grads.size() * grads.size(), 0.0) {
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      const double d2 = vec::dist2(grads[i], grads[j]);
-      d2_[i * n_ + j] = d2;
-      d2_[j * n_ + i] = d2;
-    }
-  }
-}
+    : PairwiseDistances(common::GradientMatrix::from_vectors(grads)) {}
 
 PairwiseDistances::PairwiseDistances(const common::GradientMatrix& grads)
-    : n_(grads.rows()), d2_(vec::pairwise_dist2(grads)) {}
+    : n_(grads.rows()), d2_(vec::pairwise_dist2_packed(grads)) {}
+
+double PairwiseDistances::krum_score(std::size_t i, std::size_t k,
+                                     std::span<const char> excluded,
+                                     std::vector<double>& scratch) const {
+  scratch.clear();
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == i) continue;
+    if (!excluded.empty() && excluded[j]) continue;
+    scratch.push_back(dist2(i, j));
+  }
+  const std::size_t kk = std::min(k, scratch.size());
+  std::partial_sort(scratch.begin(), scratch.begin() + std::ptrdiff_t(kk),
+                    scratch.end());
+  double score = 0.0;
+  for (std::size_t t = 0; t < kk; ++t) score += scratch[t];
+  return score;
+}
 
 double median_pairwise_cosine(std::span<const std::vector<float>> grads,
                               std::size_t self) {

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/gradient_matrix.h"
@@ -38,22 +39,36 @@ std::vector<SignStats> sign_statistics(const common::GradientMatrix& grads,
 std::vector<std::size_t> select_coordinates(std::size_t d, double frac,
                                             Rng& rng);
 
-// Symmetric n x n matrix of squared Euclidean distances between gradients.
-// Stored dense; entry (i, j) at [i * n + j]. The matrix constructor runs
-// the pairwise block on the thread pool.
+// Symmetric matrix of squared Euclidean distances between gradients,
+// stored as the packed upper triangle (n*(n-1)/2 doubles — half the dense
+// block). The matrix constructor runs the active vec::DistBackend pairwise
+// kernel (Gram GEMM or the direct pair loops) on the thread pool.
 class PairwiseDistances {
  public:
   explicit PairwiseDistances(std::span<const std::vector<float>> grads);
   explicit PairwiseDistances(const common::GradientMatrix& grads);
 
   double dist2(std::size_t i, std::size_t j) const {
-    return d2_[i * n_ + j];
+    if (i == j) return 0.0;
+    if (i > j) std::swap(i, j);
+    return d2_[i * (2 * n_ - i - 1) / 2 + (j - i - 1)];
   }
   std::size_t size() const { return n_; }
 
+  // Krum score of row i: the sum of its k smallest dist2(i, j) over the
+  // rows j != i with excluded[j] == 0 (an empty mask excludes nothing).
+  // `scratch` is caller-provided so iterative consumers (Bulyan's
+  // selection loop) do not reallocate per call. Candidates are gathered
+  // in ascending j and the k smallest are summed in ascending value
+  // order, so the score is deterministic and identical to scoring an
+  // explicit index subset.
+  double krum_score(std::size_t i, std::size_t k,
+                    std::span<const char> excluded,
+                    std::vector<double>& scratch) const;
+
  private:
   std::size_t n_;
-  std::vector<double> d2_;
+  std::vector<double> d2_;  // packed upper triangle
 };
 
 // Median of pairwise cosine similarities between g and every other gradient

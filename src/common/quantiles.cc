@@ -37,7 +37,6 @@ double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   std::vector<double> v(xs.begin(), xs.end());
-  std::sort(v.begin(), v.end());
   const std::size_t last = v.size() - 1;
   const double pos = q * double(last);
   // Clamp both interpolation indices: at q == 1.0, FP round-off can push
@@ -46,8 +45,19 @@ double quantile(std::span<const double> xs, double q) {
       std::min(static_cast<std::size_t>(std::floor(pos)), last);
   const std::size_t hi =
       std::min(static_cast<std::size_t>(std::ceil(pos)), last);
+  // Two selections instead of a full sort: the lo-th order statistic,
+  // then (hi == lo + 1 whenever they differ) the minimum of the upper
+  // partition — exactly the order statistics the sort produced.
+  std::nth_element(v.begin(), v.begin() + std::ptrdiff_t(lo), v.end());
+  const double vlo = v[lo];
+  double vhi = vlo;
+  if (hi != lo) {
+    std::nth_element(v.begin() + std::ptrdiff_t(lo) + 1,
+                     v.begin() + std::ptrdiff_t(hi), v.end());
+    vhi = v[hi];
+  }
   const double frac = pos - double(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  return vlo * (1.0 - frac) + vhi * frac;
 }
 
 double trimmed_mean(std::span<const double> xs, std::size_t trim) {

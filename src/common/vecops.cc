@@ -1,11 +1,37 @@
 #include "common/vecops.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/parallel.h"
+#include "nn/gemm.h"
 
 namespace signguard::vec {
+
+namespace {
+
+DistBackend dist_backend_from_env() {
+  const char* env = std::getenv("SIGNGUARD_DIST");
+  if (env != nullptr && std::string(env) == "direct")
+    return DistBackend::kDirect;
+  return DistBackend::kGram;
+}
+
+std::atomic<DistBackend> g_dist_backend{dist_backend_from_env()};
+
+}  // namespace
+
+DistBackend dist_backend() {
+  return g_dist_backend.load(std::memory_order_relaxed);
+}
+
+void set_dist_backend(DistBackend b) {
+  g_dist_backend.store(b, std::memory_order_relaxed);
+}
 
 double dot(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
@@ -158,7 +184,8 @@ std::vector<double> row_dots(const common::GradientMatrix& g,
 namespace {
 
 // Parallelizes a symmetric pairwise kernel over the upper-triangle pair
-// list so work stays balanced when n is small and d is huge.
+// list so work stays balanced when n is small and d is huge. The direct
+// (reference) backend.
 template <typename Kernel>
 std::vector<double> pairwise_block(const common::GradientMatrix& g,
                                    Kernel&& kernel, bool self_dot) {
@@ -180,9 +207,60 @@ std::vector<double> pairwise_block(const common::GradientMatrix& g,
   return out;
 }
 
+// Upper-triangle Gram matrix <g_i, g_j> via GEMM: for each 64-row block
+// [i0, i1), one gemm_nt call fills C[i0:i1, i0:n] = G_block * G[i0:]^T —
+// the diagonal and upper triangle only, which halves the flops of a full
+// C = G * G^T against a symmetric result. Every C element still comes
+// from the pinned GEMM accumulation contract (one float accumulator,
+// ascending k), so the entries are bitwise identical to the single full
+// call and thread-count-invariant. When `mirror` is set the lower
+// triangle is filled by reflection for dense consumers; the packed
+// kernel reads the upper triangle only and skips it.
+std::vector<float> gram_matrix(const common::GradientMatrix& g,
+                               bool mirror) {
+  const std::size_t n = g.rows();
+  const std::size_t d = g.cols();
+  std::vector<float> gram(n * n, 0.0f);
+  constexpr std::size_t kRowBlock = 64;
+  for (std::size_t i0 = 0; i0 < n; i0 += kRowBlock) {
+    const std::size_t i1 = std::min(n, i0 + kRowBlock);
+    nn::gemm_nt(i1 - i0, n - i0, d, g.data() + i0 * d, d, g.data() + i0 * d,
+                d, gram.data() + i0 * n + i0, n, /*accumulate=*/false);
+  }
+  if (mirror)
+    common::parallel_for(n, [&](std::size_t j) {
+      for (std::size_t i = 0; i < j; ++i) gram[j * n + i] = gram[i * n + j];
+    });
+  return gram;
+}
+
+// dist2 from Gram entries; clamped at 0 because cancellation on
+// near-duplicate rows can push the identity slightly negative.
+inline double dist2_from_gram(const std::vector<float>& gram, std::size_t n,
+                              std::size_t i, std::size_t j) {
+  const double d2 = double(gram[i * n + i]) + double(gram[j * n + j]) -
+                    2.0 * double(gram[i * n + j]);
+  return std::max(0.0, d2);
+}
+
+// Offset of row i's packed-triangle segment: entries (i, j) for j > i.
+inline std::size_t packed_row_offset(std::size_t n, std::size_t i) {
+  return i * (2 * n - i - 1) / 2;
+}
+
 }  // namespace
 
 std::vector<double> pairwise_dist2(const common::GradientMatrix& g) {
+  const std::size_t n = g.rows();
+  if (dist_backend() == DistBackend::kGram && n >= 2) {
+    const auto gram = gram_matrix(g, /*mirror=*/true);
+    std::vector<double> out(n * n, 0.0);
+    common::parallel_for(n, [&](std::size_t i) {
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) out[i * n + j] = dist2_from_gram(gram, n, i, j);
+    });
+    return out;
+  }
   return pairwise_block(
       g,
       [](std::span<const float> a, std::span<const float> b) {
@@ -192,6 +270,15 @@ std::vector<double> pairwise_dist2(const common::GradientMatrix& g) {
 }
 
 std::vector<double> pairwise_dot(const common::GradientMatrix& g) {
+  const std::size_t n = g.rows();
+  if (dist_backend() == DistBackend::kGram && n >= 1) {
+    const auto gram = gram_matrix(g, /*mirror=*/true);
+    std::vector<double> out(n * n, 0.0);
+    common::parallel_for(n, [&](std::size_t i) {
+      for (std::size_t j = 0; j < n; ++j) out[i * n + j] = double(gram[i * n + j]);
+    });
+    return out;
+  }
   return pairwise_block(
       g,
       [](std::span<const float> a, std::span<const float> b) {
@@ -200,7 +287,33 @@ std::vector<double> pairwise_dot(const common::GradientMatrix& g) {
       /*self_dot=*/true);
 }
 
+std::vector<double> pairwise_dist2_packed(const common::GradientMatrix& g) {
+  const std::size_t n = g.rows();
+  if (n < 2) return {};
+  std::vector<double> out(n * (n - 1) / 2, 0.0);
+  if (dist_backend() == DistBackend::kGram) {
+    const auto gram = gram_matrix(g, /*mirror=*/false);
+    common::parallel_for(n - 1, [&](std::size_t i) {
+      const std::size_t base = packed_row_offset(n, i);
+      for (std::size_t j = i + 1; j < n; ++j)
+        out[base + j - i - 1] = dist2_from_gram(gram, n, i, j);
+    });
+    return out;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  common::parallel_for(pairs.size(), [&](std::size_t p) {
+    const auto [i, j] = pairs[p];
+    out[packed_row_offset(n, i) + j - i - 1] = dist2(g.row(i), g.row(j));
+  });
+  return out;
+}
+
 namespace {
+
+constexpr std::size_t kAccTile = kAccumulatorTile;  // local shorthand
 
 // Coordinate-parallel weighted accumulation: each chunk owns a disjoint
 // coordinate range and walks the selected rows in order, so the float
@@ -214,15 +327,19 @@ std::vector<float> accumulate_columns(const common::GradientMatrix& g,
   std::vector<float> out(d, 0.0f);
   common::parallel_chunks(
       d, [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<double> acc(end - begin, 0.0);
-        for (std::size_t k = 0; k < indices.size(); ++k) {
-          const auto row = g.row(indices[k]);
-          const double w = weights.empty() ? 1.0 : weights[k];
-          for (std::size_t j = begin; j < end; ++j)
-            acc[j - begin] += w * double(row[j]);
+        std::vector<double> acc(std::min(kAccTile, end - begin), 0.0);
+        for (std::size_t t0 = begin; t0 < end; t0 += kAccTile) {
+          const std::size_t t1 = std::min(end, t0 + kAccTile);
+          std::fill(acc.begin(), acc.begin() + std::ptrdiff_t(t1 - t0), 0.0);
+          for (std::size_t k = 0; k < indices.size(); ++k) {
+            const auto row = g.row(indices[k]);
+            const double w = weights.empty() ? 1.0 : weights[k];
+            for (std::size_t j = t0; j < t1; ++j)
+              acc[j - t0] += w * double(row[j]);
+          }
+          for (std::size_t j = t0; j < t1; ++j)
+            out[j] = static_cast<float>(acc[j - t0] * inv_count);
         }
-        for (std::size_t j = begin; j < end; ++j)
-          out[j] = static_cast<float>(acc[j - begin] * inv_count);
       });
   return out;
 }
@@ -258,24 +375,61 @@ CoordinateMoments coordinate_moments(const common::GradientMatrix& g) {
   m.stddev.assign(d, 0.0f);
   common::parallel_chunks(
       d, [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<double> sum(end - begin, 0.0), sum_sq(end - begin, 0.0);
-        for (std::size_t i = 0; i < n; ++i) {
-          const auto row = g.row(i);
-          for (std::size_t j = begin; j < end; ++j) {
-            const double v = double(row[j]);
-            sum[j - begin] += v;
-            sum_sq[j - begin] += v * v;
+        const std::size_t tile = std::min(kAccTile, end - begin);
+        std::vector<double> sum(tile, 0.0), sum_sq(tile, 0.0);
+        for (std::size_t t0 = begin; t0 < end; t0 += kAccTile) {
+          const std::size_t t1 = std::min(end, t0 + kAccTile);
+          std::fill(sum.begin(), sum.begin() + std::ptrdiff_t(t1 - t0), 0.0);
+          std::fill(sum_sq.begin(), sum_sq.begin() + std::ptrdiff_t(t1 - t0),
+                    0.0);
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto row = g.row(i);
+            for (std::size_t j = t0; j < t1; ++j) {
+              const double v = double(row[j]);
+              sum[j - t0] += v;
+              sum_sq[j - t0] += v * v;
+            }
           }
-        }
-        for (std::size_t j = begin; j < end; ++j) {
-          const double mu = sum[j - begin] / double(n);
-          const double var =
-              std::max(0.0, sum_sq[j - begin] / double(n) - mu * mu);
-          m.mean[j] = static_cast<float>(mu);
-          m.stddev[j] = static_cast<float>(std::sqrt(var));
+          for (std::size_t j = t0; j < t1; ++j) {
+            const double mu = sum[j - t0] / double(n);
+            const double var =
+                std::max(0.0, sum_sq[j - t0] / double(n) - mu * mu);
+            m.mean[j] = static_cast<float>(mu);
+            m.stddev[j] = static_cast<float>(std::sqrt(var));
+          }
         }
       });
   return m;
+}
+
+void for_each_column(
+    const common::GradientMatrix& g, std::span<const std::size_t> rows,
+    const std::function<void(std::size_t, std::span<float>)>& fn) {
+  const std::size_t d = g.cols();
+  const std::size_t n = rows.empty() ? g.rows() : rows.size();
+  if (n == 0 || d == 0) return;
+  // Panel width: 64 columns x n rows. The transposition pass reads each
+  // source row segment sequentially (one cache-line touch per line) and
+  // scatters into 64 write streams — n * 256 bytes of panel, L2-resident
+  // for any realistic cohort size.
+  constexpr std::size_t kPanelCols = 64;
+  const std::size_t tiles = (d + kPanelCols - 1) / kPanelCols;
+  common::parallel_chunks(
+      tiles, [&](std::size_t t_begin, std::size_t t_end, std::size_t) {
+        std::vector<float> panel(kPanelCols * n);
+        for (std::size_t t = t_begin; t < t_end; ++t) {
+          const std::size_t j0 = t * kPanelCols;
+          const std::size_t j1 = std::min(d, j0 + kPanelCols);
+          const std::size_t w = j1 - j0;
+          for (std::size_t r = 0; r < n; ++r) {
+            const auto row = g.row(rows.empty() ? r : rows[r]);
+            for (std::size_t c = 0; c < w; ++c)
+              panel[c * n + r] = row[j0 + c];
+          }
+          for (std::size_t c = 0; c < w; ++c)
+            fn(j0 + c, std::span<float>(panel.data() + c * n, n));
+        }
+      });
 }
 
 }  // namespace signguard::vec

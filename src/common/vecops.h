@@ -7,12 +7,32 @@
 // thread pool (common/parallel.h) with thread-count-invariant results.
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/gradient_matrix.h"
 
 namespace signguard::vec {
+
+// ---- pairwise-geometry backend ---------------------------------------------
+// The O(n^2 d) pairwise blocks behind Krum/Bulyan/Min-Max/Min-Sum and the
+// similarity filters come in two numerically distinct flavours:
+//   kGram   — one n x n Gram matrix from a single nn::gemm_nt(G, G) call
+//             (float accumulation, register-tiled, thread-parallel), with
+//             dist2(i, j) = <g_i,g_i> + <g_j,g_j> - 2<g_i,g_j> clamped at 0.
+//   kDirect — the scalar per-pair loops with one double accumulator per
+//             entry: the reference backend for tolerance cross-checks.
+// Both are bitwise thread-count-invariant; they differ from each other by
+// float-vs-double rounding and by cancellation on near-duplicate rows, so
+// cross-backend comparisons are tolerance-based, never bitwise.
+enum class DistBackend { kGram, kDirect };
+
+// Active backend: set_dist_backend() override if any, else the
+// SIGNGUARD_DIST environment variable ("direct" selects the scalar pair
+// loops; anything else, or unset, selects the Gram path).
+DistBackend dist_backend();
+void set_dist_backend(DistBackend b);
 
 // Inner product <a, b>. Preconditions: a.size() == b.size().
 double dot(std::span<const float> a, std::span<const float> b);
@@ -83,6 +103,15 @@ CoordinateMoments coordinate_moments(
 // sequential inner accumulation, so results do not depend on the thread
 // count.
 
+// Accumulator tile width shared by the coordinate-parallel reductions
+// (mean/weighted-mean/moments here, GeoMed's Weiszfeld sweep): a worker's
+// chunk of a d=1M gradient is a multi-megabyte accumulator that would be
+// re-streamed from memory once per row; a 4K-coordinate tile (32 KB of
+// doubles) stays in L1 across the whole row loop. Tiling only regroups
+// coordinates — each coordinate still accumulates over rows in the same
+// order — so results are bitwise unchanged.
+inline constexpr std::size_t kAccumulatorTile = 4096;
+
 // Per-row l2 norms.
 std::vector<double> row_norms(const common::GradientMatrix& g);
 
@@ -91,8 +120,16 @@ std::vector<double> row_dots(const common::GradientMatrix& g,
                              std::span<const float> ref);
 
 // Dense symmetric n x n blocks, row-major, diagonal zero / self-dot.
+// Computed by the active DistBackend (one GEMM for the Gram path, scalar
+// pair loops for the direct path).
 std::vector<double> pairwise_dist2(const common::GradientMatrix& g);
 std::vector<double> pairwise_dot(const common::GradientMatrix& g);
+
+// Packed upper triangle of pairwise squared distances: n*(n-1)/2 entries,
+// (i, j) with i < j at [i*(2n-i-1)/2 + j-i-1] — half the memory of the
+// dense block. Same backend dispatch and the same values as the dense
+// kernel. Backs PairwiseDistances.
+std::vector<double> pairwise_dist2_packed(const common::GradientMatrix& g);
 
 // Arithmetic mean of all rows / of the rows in `indices` (non-empty).
 std::vector<float> mean_of(const common::GradientMatrix& g);
@@ -107,5 +144,19 @@ std::vector<float> weighted_mean_of_subset(
 
 // Coordinate-wise mean/stddev in one fused pass over the matrix.
 CoordinateMoments coordinate_moments(const common::GradientMatrix& g);
+
+// ---- column panels ---------------------------------------------------------
+// Cache-blocked column-statistic sweep: transposes fixed-width column
+// tiles of g — restricted to `rows` when non-empty, all rows otherwise —
+// into a per-worker panel, then calls fn(j, column) for every coordinate
+// j with that column's values contiguous and mutable (selection
+// algorithms may permute them), ordered by position in `rows`. Each tile
+// reads the source row-major (every cache line touched once) instead of
+// the per-coordinate stride-d walk, and each coordinate is produced by
+// exactly one worker, so results are thread-count-invariant whenever fn
+// is deterministic.
+void for_each_column(
+    const common::GradientMatrix& g, std::span<const std::size_t> rows,
+    const std::function<void(std::size_t, std::span<float>)>& fn);
 
 }  // namespace signguard::vec

@@ -132,6 +132,9 @@ TEST(MatrixKernels, RowNormsMatchScalarNorms) {
 TEST(MatrixKernels, PairwiseBlocksMatchScalarKernels) {
   const auto vs = gaussian_grads(6, 40, 0.0, 1.0, 4);
   const auto m = common::GradientMatrix::from_vectors(vs);
+  const auto prev_backend = vec::dist_backend();
+  // The direct backend is the scalar pair loops — exact match required.
+  vec::set_dist_backend(vec::DistBackend::kDirect);
   const auto d2 = vec::pairwise_dist2(m);
   const auto gram = vec::pairwise_dot(m);
   for (std::size_t i = 0; i < 6; ++i) {
@@ -143,6 +146,17 @@ TEST(MatrixKernels, PairwiseBlocksMatchScalarKernels) {
         EXPECT_DOUBLE_EQ(gram[i * 6 + j], vec::dot(vs[i], vs[j]));
     }
   }
+  // The Gram backend accumulates in float via one GEMM — tolerance only
+  // (test_aggregate_scale stresses the adversarial cases).
+  vec::set_dist_backend(vec::DistBackend::kGram);
+  const auto d2g = vec::pairwise_dist2(m);
+  const auto gramg = vec::pairwise_dot(m);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(d2g[i * 6 + j], d2[i * 6 + j], 1e-3);
+      EXPECT_NEAR(gramg[i * 6 + j], gram[i * 6 + j], 1e-3);
+    }
+  vec::set_dist_backend(prev_backend);
 }
 
 TEST(MatrixKernels, MeanAndMomentsMatchLegacy) {
