@@ -1,0 +1,183 @@
+// Gradient-transport microbench: encode/decode throughput and wire-level
+// compression ratio for every comm codec at d in {100k, 1M} — the
+// uplink-bytes dimension of the ROADMAP's "millions of users" direction.
+// Emits machine-readable JSON (default BENCH_comm.json) for the bench
+// trajectory and CI artifact upload.
+//
+// Usage:
+//   ./comm_microbench [--json=BENCH_comm.json] [--min-ms=120]
+//                     [--assert-sign1-ratio=16]
+//                     [--assert-sign1-decode-gbps=1.0]
+//
+// The assertion flags are CI smoke guards for the transport layer's two
+// headline numbers: sign1 must shrink uplinks by at least the given
+// factor, and its single-thread decode must sustain at least the given
+// GB/s (gigabytes of *dense gradient* per second — the rate at which a
+// server core turns wire bytes back into GradientMatrix rows).
+//
+// Everything is timed on ONE pool thread (set_thread_count(1)): the
+// committed numbers compare codec structure, not core counts, and stay
+// comparable across hosts. Throughput is dense bytes (4d) per second on
+// both directions, so encode and decode are directly comparable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/codec.h"
+#include "comm/wire.h"
+#include "common/hash.h"
+#include "common/parallel.h"
+
+namespace signguard {
+namespace {
+
+using bench::Stopwatch;
+
+double min_ms = 120.0;
+
+// Best-of-repeats wall time per op in microseconds (same discipline as
+// train_microbench: robust to scheduler noise on a busy CI runner).
+double time_usec(const std::function<void()>& op) {
+  op();  // warm up
+  double best = 1e300;
+  Stopwatch budget;
+  while (budget.seconds() * 1e3 < min_ms) {
+    Stopwatch w;
+    op();
+    best = std::min(best, w.seconds() * 1e6);
+  }
+  return best;
+}
+
+struct Entry {
+  std::string group, codec;
+  std::size_t d = 0;
+  double usec = 0.0;
+  double rate = 0.0;  // GB/s for encode/decode, x-factor for ratio
+};
+
+std::vector<Entry> entries;
+
+void record(const std::string& group, const std::string& codec,
+            std::size_t d, double usec, double rate, const char* unit) {
+  entries.push_back({group, codec, d, usec, rate});
+  std::printf("%-8s %-6s d=%-8zu %12.1f us  %8.3f %s\n", group.c_str(),
+              codec.c_str(), d, usec, rate, unit);
+}
+
+// Deterministic cheap fill (splitmix64 of the index): bench inputs must
+// not depend on RNG streaming speed, and stay identical across hosts.
+std::vector<float> make_row(std::size_t d) {
+  std::vector<float> row(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::uint64_t h = common::splitmix64(j);
+    row[j] =
+        static_cast<float>((double(h >> 11) * 0x1.0p-53 - 0.5) * 2.0 + 0.01);
+  }
+  return row;
+}
+
+struct CodecNumbers {
+  double ratio = 0.0;
+  double decode_gbps = 0.0;
+};
+
+CodecNumbers bench_codec(comm::CodecKind kind, std::size_t d) {
+  comm::CompressionSpec spec;
+  spec.codec = kind;
+  const auto codec = comm::make_codec(spec);
+  const std::vector<float> row = make_row(d);
+  std::vector<float> out(d);
+  std::vector<std::uint8_t> buf;
+  std::vector<comm::CodecScratch> scratch;
+  const double dense_gb = double(d) * 4.0 / 1e9;
+
+  const double enc_usec = time_usec(
+      [&] { comm::encode_into(*codec, row, buf, scratch); });
+  record("encode", codec->name(), d, enc_usec, dense_gb / (enc_usec * 1e-6),
+         "GB/s");
+  const double dec_usec = time_usec([&] {
+    if (comm::decode_into(*codec, buf, out) != comm::DecodeStatus::kOk)
+      std::abort();
+  });
+  const double dec_gbps = dense_gb / (dec_usec * 1e-6);
+  record("decode", codec->name(), d, dec_usec, dec_gbps, "GB/s");
+  const double ratio = double(d) * 4.0 / double(buf.size());
+  record("ratio", codec->name(), d, 0.0, ratio, "x");
+  return {ratio, dec_gbps};
+}
+
+void write_json(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"schema\": \"signguard/comm_microbench/v1\",\n"
+      << "  \"threads\": 1,\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << "    {\"group\": \"" << e.group << "\", \"codec\": \"" << e.codec
+        << "\", \"d\": " << e.d << ", \"usec\": " << e.usec
+        << ", \"rate\": " << e.rate << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+}
+
+}  // namespace
+}  // namespace signguard
+
+int main(int argc, char** argv) {
+  using namespace signguard;
+  std::printf("== comm_microbench ==\n");
+  common::set_thread_count(1);
+  min_ms = std::stod(bench::arg_value(argc, argv, "min-ms", "120"));
+  const std::string json_path =
+      bench::arg_value(argc, argv, "json", "BENCH_comm.json");
+  const std::string ratio_arg =
+      bench::arg_value(argc, argv, "assert-sign1-ratio", "");
+  const std::string gbps_arg =
+      bench::arg_value(argc, argv, "assert-sign1-decode-gbps", "");
+
+  CodecNumbers sign1_1m;
+  for (const std::size_t d : {std::size_t{100'000}, std::size_t{1'000'000}}) {
+    for (const auto kind :
+         {comm::CodecKind::kNone, comm::CodecKind::kSign1,
+          comm::CodecKind::kInt8, comm::CodecKind::kTopK}) {
+      const CodecNumbers n = bench_codec(kind, d);
+      if (kind == comm::CodecKind::kSign1 && d == 1'000'000) sign1_1m = n;
+    }
+  }
+  write_json(json_path);
+
+  int rc = 0;
+  if (!ratio_arg.empty()) {
+    const double need = std::stod(ratio_arg);
+    if (sign1_1m.ratio < need) {
+      std::fprintf(stderr,
+                   "FAIL: sign1 compression ratio %.2fx < required %.2fx\n",
+                   sign1_1m.ratio, need);
+      rc = 1;
+    } else {
+      std::printf("sign1 ratio %.2fx >= required %.2fx\n", sign1_1m.ratio,
+                  need);
+    }
+  }
+  if (!gbps_arg.empty()) {
+    const double need = std::stod(gbps_arg);
+    if (sign1_1m.decode_gbps < need) {
+      std::fprintf(stderr,
+                   "FAIL: sign1 decode %.2f GB/s < required %.2f GB/s "
+                   "single-thread\n",
+                   sign1_1m.decode_gbps, need);
+      rc = 1;
+    } else {
+      std::printf("sign1 decode %.2f GB/s >= required %.2f GB/s\n",
+                  sign1_1m.decode_gbps, need);
+    }
+  }
+  return rc;
+}

@@ -14,6 +14,8 @@
 //                [--gars=Mean,Median,SignGuard]
 //                [--skews=iid,0.5] [--byz=0.2] [--participation=1.0]
 //                [--dropout=0.0] [--straggler=0.0]
+//                [--codecs=none,sign1,int8,topk] [--codec-chunk=4096]
+//                [--codec-k=0.05]
 //                [--rounds=N] [--clients=N] [--seed=7]
 //                [--out=FILE] [--timing] [--no-round-checksums]
 //                [--summary] [--list]
@@ -85,6 +87,15 @@ int main(int argc, char** argv) {
       bench::split_csv(bench::arg_value(argc, argv, "dropout", "0.0")));
   grid.straggler_probs = parse_doubles(
       bench::split_csv(bench::arg_value(argc, argv, "straggler", "0.0")));
+  // Compression axis: unknown codec names surface per scenario in the
+  // results (like attack/GAR typos), so no up-front validation here.
+  grid.codecs =
+      bench::split_csv(bench::arg_value(argc, argv, "codecs", "none"));
+  grid.codec_chunk = std::strtoull(
+      bench::arg_value(argc, argv, "codec-chunk", "4096").c_str(), nullptr,
+      10);
+  grid.codec_k = std::atof(
+      bench::arg_value(argc, argv, "codec-k", "0.05").c_str());
   grid.rounds = std::strtoull(
       bench::arg_value(argc, argv, "rounds", "0").c_str(), nullptr, 10);
   grid.n_clients = std::strtoull(

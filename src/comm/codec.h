@@ -1,0 +1,119 @@
+#pragma once
+// Gradient uplink codecs: the compression half of the transport layer
+// that sits between fl::Client and the server-side GradientMatrix. A
+// codec turns a chunk of float32 gradient coordinates into a byte
+// payload and back; the framing around chunks (header, length prefixes,
+// checksum) lives in comm/wire.h.
+//
+// Determinism contract (shared with the rest of the codebase):
+//   * encode is a pure function of the chunk's floats — no RNG, no
+//     platform dependence, sequential accumulation inside a chunk — so
+//     encoded bytes are bitwise thread-invariant and reproducible.
+//   * chunk_payload_size() depends only on the chunk length, never on
+//     the data, so every chunk's output offset is computable up front
+//     and chunks can be encoded/decoded concurrently into disjoint
+//     slots (comm/wire.h does exactly that on the common/parallel pool).
+//   * encode(decode(encode(x))) == encode(x) byte-for-byte for every
+//     finite input: a decoded gradient re-enters the wire in exactly the
+//     bytes it arrived in, so relays and replays cannot drift.
+//   * decode_chunk never exhibits UB on hostile bytes — a Byzantine
+//     client controls its own payload — and rejects any chunk that a
+//     legitimate encoder could not have produced (non-finite scales,
+//     out-of-range codes, non-monotone sparse indices), so corrupt
+//     uplinks cannot inject NaN/inf into the aggregation pipeline.
+//
+// Codecs (kind byte is the on-wire id; never renumber):
+//   none  raw little-endian float32 — the identity transport.
+//   sign1 1 bit per coordinate + one float32 mean-|x| scale per chunk
+//         (à la SignSGD). sign(decode(x)) == sign(x) coordinate-wise
+//         (zeros surface as +scale), so SignGuard's sign statistics
+//         survive compression exactly. ~32x smaller at chunk 4096.
+//   int8  per-chunk symmetric quantization to q in [-127, 127] with
+//         deterministic round-half-even on a power-of-two grid (the
+//         stored per-chunk parameter is the step exponent, sized so
+//         max|x| spans [64, 128) steps). A power-of-two step decodes
+//         with exact float arithmetic, which is what makes re-encoding
+//         a bitwise projection even for denormal chunks — an arbitrary
+//         scale (or an affine offset) cannot round-trip once its own
+//         rounding error grows. ~4x smaller.
+//   topk  magnitude top-k sparsification per chunk (k = k_fraction of
+//         the chunk, at least 1) with a deterministic
+//         magnitude-then-value-then-index tie-break; surviving entries
+//         are stored as exact float32 plus u16 index deltas.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace signguard::comm {
+
+enum class CodecKind : std::uint8_t {
+  kNone = 0,
+  kSign1 = 1,
+  kInt8 = 2,
+  kTopK = 3,
+};
+
+// Index deltas inside a chunk are u16, so a chunk never spans more
+// coordinates than one delta can express.
+inline constexpr std::size_t kMaxChunk = 65536;
+
+// Trainer-facing knob: which codec, how many coordinates per wire chunk,
+// and (top-k only) which fraction of each chunk survives.
+struct CompressionSpec {
+  CodecKind codec = CodecKind::kNone;
+  std::size_t chunk = 4096;
+  double k_fraction = 0.05;
+};
+
+// Reusable per-worker scratch for encode_chunk (top-k candidate
+// ordering). One instance per concurrent encoder; zero steady-state
+// allocation once grown.
+struct CodecScratch {
+  std::vector<std::uint32_t> order;
+};
+
+class Codec {
+ public:
+  explicit Codec(std::size_t chunk) : chunk_(chunk) {}
+  virtual ~Codec() = default;
+
+  virtual CodecKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  // Coordinates per wire chunk (every chunk but the row's tail).
+  std::size_t chunk() const { return chunk_; }
+
+  // Exact payload size of a chunk of `len` coordinates. Data-independent
+  // by contract (see file header).
+  virtual std::size_t chunk_payload_size(std::size_t len) const = 0;
+
+  // Writes exactly chunk_payload_size(in.size()) bytes to `out`.
+  virtual void encode_chunk(std::span<const float> in, std::uint8_t* out,
+                            CodecScratch& scratch) const = 0;
+
+  // Inverse of encode_chunk; writes every coordinate of `out`. `in` has
+  // already been length-checked against chunk_payload_size(out.size());
+  // returns false when the payload's internals are malformed (the wire
+  // layer surfaces that as DecodeStatus::kMalformedChunk).
+  virtual bool decode_chunk(std::span<const std::uint8_t> in,
+                            std::span<float> out) const = 0;
+
+ private:
+  std::size_t chunk_;
+};
+
+// Canonical lowercase codec names ("none", "sign1", "int8", "topk").
+const char* codec_name(CodecKind kind);
+// Throws std::invalid_argument for an unknown name.
+CodecKind codec_kind_from_name(const std::string& name);
+
+// Builds the configured codec. Throws std::invalid_argument for a
+// degenerate spec: chunk outside [1, kMaxChunk], or (top-k) k_fraction
+// outside (0, 1].
+std::unique_ptr<Codec> make_codec(const CompressionSpec& spec);
+
+}  // namespace signguard::comm

@@ -1,0 +1,177 @@
+#include "comm/wire.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+
+namespace signguard::comm {
+
+namespace {
+
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Chunk geometry for a d-coordinate row: record sizes are fixed for
+// every chunk but the tail, so record c starts at
+// kWireHeaderSize + c * full_record.
+struct Layout {
+  std::size_t n_chunks = 0;
+  std::size_t tail_len = 0;     // coords in the last chunk
+  std::size_t full_record = 0;  // bytes of a full chunk's record
+  std::size_t total = kWireHeaderSize;
+};
+
+Layout layout_of(const Codec& codec, std::size_t d) {
+  Layout l;
+  const std::size_t chunk = codec.chunk();
+  if (d == 0) return l;
+  l.n_chunks = (d + chunk - 1) / chunk;
+  l.tail_len = d - (l.n_chunks - 1) * chunk;
+  l.full_record = 4 + codec.chunk_payload_size(chunk);
+  l.total = kWireHeaderSize + (l.n_chunks - 1) * l.full_record + 4 +
+            codec.chunk_payload_size(l.tail_len);
+  return l;
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kBadMagic:
+      return "bad-magic";
+    case DecodeStatus::kCodecMismatch:
+      return "codec-mismatch";
+    case DecodeStatus::kDimMismatch:
+      return "dim-mismatch";
+    case DecodeStatus::kChunkMismatch:
+      return "chunk-mismatch";
+    case DecodeStatus::kBadChunkLength:
+      return "bad-chunk-length";
+    case DecodeStatus::kChecksumMismatch:
+      return "checksum-mismatch";
+    case DecodeStatus::kMalformedChunk:
+      return "malformed-chunk";
+    case DecodeStatus::kTrailingBytes:
+      return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+std::size_t encoded_size(const Codec& codec, std::size_t d) {
+  return layout_of(codec, d).total;
+}
+
+void encode_into(const Codec& codec, std::span<const float> row,
+                 std::vector<std::uint8_t>& out,
+                 std::vector<CodecScratch>& scratch) {
+  const std::size_t d = row.size();
+  const std::size_t chunk = codec.chunk();
+  const Layout l = layout_of(codec, d);
+  out.resize(l.total);
+
+  std::uint8_t* h = out.data();
+  h[0] = 'S';
+  h[1] = 'G';
+  h[2] = 'T';
+  h[3] = '1';
+  h[4] = static_cast<std::uint8_t>(codec.kind());
+  h[5] = h[6] = h[7] = 0;
+  put_u64(h + 8, d);
+  put_u32(h + 16, static_cast<std::uint32_t>(chunk));
+
+  if (scratch.size() < common::thread_count())
+    scratch.resize(common::thread_count());
+  // Records land at precomputed offsets, so the chunk fan-out writes
+  // disjoint byte ranges — bitwise thread-invariant by construction.
+  common::parallel_chunks(
+      l.n_chunks,
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        CodecScratch& s = scratch[worker];
+        for (std::size_t c = begin; c < end; ++c) {
+          const std::size_t len = c + 1 == l.n_chunks ? l.tail_len : chunk;
+          const std::size_t psize = codec.chunk_payload_size(len);
+          std::uint8_t* rec = out.data() + kWireHeaderSize + c * l.full_record;
+          put_u32(rec, static_cast<std::uint32_t>(psize));
+          codec.encode_chunk(row.subspan(c * chunk, len), rec + 4, s);
+        }
+      });
+
+  put_u64(h + 20, common::fnv1a64(out.data() + kWireHeaderSize,
+                                  l.total - kWireHeaderSize));
+}
+
+DecodeStatus decode_into(const Codec& codec,
+                         std::span<const std::uint8_t> buf,
+                         std::span<float> row) {
+  const std::size_t d = row.size();
+  const std::size_t chunk = codec.chunk();
+  if (buf.size() < kWireHeaderSize) return DecodeStatus::kTruncated;
+  const std::uint8_t* h = buf.data();
+  if (h[0] != 'S' || h[1] != 'G' || h[2] != 'T' || h[3] != '1' || h[5] != 0 ||
+      h[6] != 0 || h[7] != 0)
+    return DecodeStatus::kBadMagic;
+  if (h[4] != static_cast<std::uint8_t>(codec.kind()))
+    return DecodeStatus::kCodecMismatch;
+  if (get_u64(h + 8) != d) return DecodeStatus::kDimMismatch;
+  if (get_u32(h + 16) != chunk) return DecodeStatus::kChunkMismatch;
+
+  // Structural walk before the checksum: a buffer cut short reports
+  // kTruncated (the likely transport failure), while a size-consistent
+  // buffer with damaged bytes reports kChecksumMismatch below.
+  const Layout l = layout_of(codec, d);
+  std::size_t off = kWireHeaderSize;
+  for (std::size_t c = 0; c < l.n_chunks; ++c) {
+    if (buf.size() - off < 4) return DecodeStatus::kTruncated;
+    const std::size_t len = c + 1 == l.n_chunks ? l.tail_len : chunk;
+    const std::size_t psize = codec.chunk_payload_size(len);
+    if (get_u32(buf.data() + off) != psize)
+      return DecodeStatus::kBadChunkLength;
+    if (buf.size() - off - 4 < psize) return DecodeStatus::kTruncated;
+    off += 4 + psize;
+  }
+  if (off != buf.size()) return DecodeStatus::kTrailingBytes;
+
+  if (get_u64(h + 20) !=
+      common::fnv1a64(buf.data() + kWireHeaderSize,
+                      buf.size() - kWireHeaderSize))
+    return DecodeStatus::kChecksumMismatch;
+
+  // Every record's offset and length is now verified; decode the chunks
+  // concurrently into disjoint coordinate ranges of the row.
+  std::atomic<bool> ok{true};
+  common::parallel_chunks(
+      l.n_chunks, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t c = begin; c < end && ok.load(); ++c) {
+          const std::size_t len = c + 1 == l.n_chunks ? l.tail_len : chunk;
+          const std::size_t psize = codec.chunk_payload_size(len);
+          const std::uint8_t* rec =
+              buf.data() + kWireHeaderSize + c * l.full_record;
+          if (!codec.decode_chunk({rec + 4, psize},
+                                  row.subspan(c * chunk, len)))
+            ok.store(false);
+        }
+      });
+  return ok.load() ? DecodeStatus::kOk : DecodeStatus::kMalformedChunk;
+}
+
+}  // namespace signguard::comm

@@ -1,0 +1,74 @@
+#pragma once
+// The wire format of the gradient transport layer: framing around the
+// comm/codec.h chunk payloads. One uplink buffer per client per round:
+//
+//   [ 28-byte header ][ chunk record ][ chunk record ] ... (ceil(d/chunk))
+//
+//   header:  0..4   magic "SGT1"
+//            4      codec id (CodecKind)
+//            5..8   reserved, must be zero
+//            8..16  d — coordinate count (u64 LE)
+//           16..20  chunk size — coords per chunk (u32 LE)
+//           20..28  FNV-1a64 checksum over every byte after the header
+//   record:  u32 LE payload length, then the codec's chunk payload
+//
+// Because every codec's chunk payload size is a pure function of the
+// chunk length (comm/codec.h contract), all record offsets are known up
+// front: encode and decode fan chunks out over the common/parallel pool
+// into disjoint byte/coordinate ranges, so the bytes and the decoded
+// floats are bitwise identical for any SIGNGUARD_THREADS.
+//
+// decode_into trusts nothing — a Byzantine client controls its own
+// bytes. Every read is bounds-checked, every structural field is
+// validated against the server's configured codec, and failures come
+// back as a typed DecodeStatus (no asserts, no exceptions on the decode
+// path, no out-of-bounds access). An accepted buffer always decodes to
+// all-finite rows.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/codec.h"
+
+namespace signguard::comm {
+
+enum class DecodeStatus {
+  kOk = 0,
+  kTruncated,         // buffer ends before the declared structure does
+  kBadMagic,          // wrong magic or nonzero reserved bytes
+  kCodecMismatch,     // header codec id != the round's configured codec
+  kDimMismatch,       // header d != the model's parameter count
+  kChunkMismatch,     // header chunk size != the configured chunk size
+  kBadChunkLength,    // a record's length prefix != the codec's size
+  kChecksumMismatch,  // payload bytes don't match the header checksum
+  kMalformedChunk,    // codec-level rejection (bad scale, index, code)
+  kTrailingBytes,     // well-formed chunks followed by extra bytes
+};
+
+const char* to_string(DecodeStatus status);
+
+inline constexpr std::size_t kWireHeaderSize = 28;
+
+// Exact wire size of a d-coordinate row under `codec` — header, length
+// prefixes and payloads. Data-independent (uplink accounting uses it as
+// the per-client cost without touching gradient bytes).
+std::size_t encoded_size(const Codec& codec, std::size_t d);
+
+// Encodes `row` into `out` (resized to exactly encoded_size; capacity is
+// reused round over round). `scratch` holds one CodecScratch per pool
+// worker — pass the same instance every call for zero steady-state
+// allocation; it is grown on demand.
+void encode_into(const Codec& codec, std::span<const float> row,
+                 std::vector<std::uint8_t>& out,
+                 std::vector<CodecScratch>& scratch);
+
+// Decodes `buf` straight into `row` (a GradientMatrix row of the
+// expected dimension). On any status but kOk the row's contents are
+// unspecified, but every access stayed in bounds.
+DecodeStatus decode_into(const Codec& codec,
+                         std::span<const std::uint8_t> buf,
+                         std::span<float> row);
+
+}  // namespace signguard::comm

@@ -1,0 +1,20 @@
+#pragma once
+// Stable float formatting shared by the sweep JSONL writer and the bench
+// JSON emitters. %.9g prints FLT_DECIMAL_DIG significant digits — the
+// smallest fixed precision for which strtof(fmt_float(v)) == v for every
+// finite float — so a float32 value committed to a JSONL trace can be
+// parsed back bit-exactly. Locale-independent ("C" numeric formatting is
+// assumed process-wide, as everywhere else in this codebase).
+
+#include <cstdio>
+#include <string>
+
+namespace signguard::common {
+
+inline std::string fmt_float(float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", double(v));
+  return buf;
+}
+
+}  // namespace signguard::common

@@ -5,6 +5,7 @@
 // (Table II).
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct TrainingResult {
   double best_accuracy = 0.0;
   double final_accuracy = 0.0;
   SelectionStats selection;
+  // Uplink transport totals over the whole run (zero while the transport
+  // layer is off): encoded bytes actually sent, the float32 cost of the
+  // same updates, and how many uplinks the wire decoder rejected.
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t uplink_dense_bytes = 0;
+  std::size_t decode_rejects = 0;
 };
 
 // Definition 3: attack impact = baseline accuracy - achieved accuracy.

@@ -10,6 +10,8 @@
 #include <ostream>
 #include <utility>
 
+#include "comm/codec.h"
+#include "common/format.h"
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "common/table.h"
@@ -77,6 +79,13 @@ std::string ScenarioSpec::id() const {
   s += "/p=" + num(participation);
   s += "/drop=" + num(dropout_prob);
   s += "/strag=" + num(straggler_prob);
+  // The transport segment appears only when the layer is on: "none"
+  // scenarios keep their pre-transport ids (and with them their RNG
+  // streams and golden traces) byte-for-byte.
+  if (codec != "none") {
+    s += "/codec=" + codec + "/ck=" + std::to_string(codec_chunk);
+    if (codec == "topk") s += "/k=" + num(codec_k);
+  }
   s += "/r=" + std::to_string(rounds);
   s += "/n=" + std::to_string(n_clients);
   s += "/seed=" + std::to_string(seed);
@@ -92,7 +101,7 @@ std::uint64_t ScenarioSpec::rng_seed() const {
 std::size_t SweepGrid::size() const {
   return workloads.size() * attacks.size() * gars.size() * skews.size() *
          byzantine_fracs.size() * participations.size() *
-         dropout_probs.size() * straggler_probs.size();
+         dropout_probs.size() * straggler_probs.size() * codecs.size();
 }
 
 std::vector<ScenarioSpec> SweepGrid::expand() const {
@@ -105,22 +114,26 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
           for (const double byz : byzantine_fracs)
             for (const double part : participations)
               for (const double drop : dropout_probs)
-                for (const double strag : straggler_probs) {
-                  ScenarioSpec s;
-                  s.workload = workload;
-                  s.profile = profile;
-                  s.attack = attack;
-                  s.gar = gar;
-                  s.skew = skew;
-                  s.byzantine_frac = byz;
-                  s.participation = part;
-                  s.dropout_prob = drop;
-                  s.straggler_prob = strag;
-                  s.rounds = rounds;
-                  s.n_clients = n_clients;
-                  s.seed = seed;
-                  specs.push_back(std::move(s));
-                }
+                for (const double strag : straggler_probs)
+                  for (const auto& codec : codecs) {
+                    ScenarioSpec s;
+                    s.workload = workload;
+                    s.profile = profile;
+                    s.attack = attack;
+                    s.gar = gar;
+                    s.skew = skew;
+                    s.byzantine_frac = byz;
+                    s.participation = part;
+                    s.dropout_prob = drop;
+                    s.straggler_prob = strag;
+                    s.codec = codec;
+                    s.codec_chunk = codec_chunk;
+                    s.codec_k = codec_k;
+                    s.rounds = rounds;
+                    s.n_clients = n_clients;
+                    s.seed = seed;
+                    specs.push_back(std::move(s));
+                  }
   return specs;
 }
 
@@ -161,6 +174,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
   const auto wall0 = std::chrono::steady_clock::now();
   const double cpu0 = thread_cpu_seconds();
   try {
+    // Inside the try: an unknown codec name or degenerate chunk/k is a
+    // per-scenario error, not a sweep abort.
+    cfg.compression.codec = comm::codec_kind_from_name(spec.codec);
+    cfg.compression.chunk = spec.codec_chunk;
+    cfg.compression.k_fraction = spec.codec_k;
     Trainer trainer(w.data, w.model_factory, cfg);
     auto attack = make_attack(spec.attack);
     auto gar =
@@ -178,6 +196,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
       t.dropped = obs.dropped;
       t.stragglers = obs.stragglers;
       t.selected = obs.selected.size();
+      t.decode_rejects = obs.decode_rejects;
       t.test_accuracy = obs.test_accuracy;
       t.skipped = obs.skipped;
       fold = fold_round(fold, t);
@@ -194,6 +213,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
       r.honest_pass_rate = res.selection.honest_rate;
       r.malicious_pass_rate = res.selection.malicious_rate;
     }
+    r.uplink_bytes = res.uplink_bytes;
+    r.uplink_dense_bytes = res.uplink_dense_bytes;
+    r.decode_rejects = res.decode_rejects;
+    if (res.uplink_bytes > 0)
+      r.compression_ratio = static_cast<float>(
+          double(res.uplink_dense_bytes) / double(res.uplink_bytes));
     r.trace_checksum = fold;
   } catch (const std::exception& e) {
     r.error = e.what();
@@ -311,6 +336,19 @@ void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
   line += ",\"skipped_rounds\":" + std::to_string(r.skipped_rounds);
   line += ",\"dropped\":" + std::to_string(r.dropped_total);
   line += ",\"stragglers\":" + std::to_string(r.straggler_total);
+  // Transport fields only when the layer is on, so codec "none" lines —
+  // the committed golden traces among them — keep their exact bytes.
+  // compression_ratio is a float32 printed with %.9g: parsing it back
+  // with strtof recovers the stored value bit-exactly.
+  if (s.codec != "none") {
+    line += ",\"codec\":" + json_str(s.codec);
+    line += ",\"codec_chunk\":" + std::to_string(s.codec_chunk);
+    if (s.codec == "topk") line += ",\"codec_k\":" + json_num(s.codec_k);
+    line += ",\"uplink_bytes\":" + std::to_string(r.uplink_bytes);
+    line += ",\"uplink_dense_bytes\":" + std::to_string(r.uplink_dense_bytes);
+    line += ",\"compression_ratio\":" + common::fmt_float(r.compression_ratio);
+    line += ",\"decode_rejects\":" + std::to_string(r.decode_rejects);
+  }
   line += ",\"trace_checksum\":" + json_hex(r.trace_checksum);
   if (!r.rounds.empty()) {
     line += ",\"round_checksums\":[";
@@ -338,6 +376,7 @@ std::string summary_table(const std::vector<ScenarioResult>& results) {
     if (s.participation < 1.0) g += ", p=" + num(s.participation);
     if (s.dropout_prob > 0.0) g += ", drop=" + num(s.dropout_prob);
     if (s.straggler_prob > 0.0) g += ", strag=" + num(s.straggler_prob);
+    if (s.codec != "none") g += ", codec=" + s.codec;
     g += ", rounds=" + std::to_string(r.resolved_rounds);
     g += ", n=" + std::to_string(r.resolved_clients);
     g += ", seed=" + std::to_string(s.seed) + ")";

@@ -40,6 +40,15 @@ struct ScenarioSpec {
   double participation = 1.0;
   double dropout_prob = 0.0;         // failure injection, per client/round
   double straggler_prob = 0.0;
+  // Uplink transport axis (src/comm): codec name ("none", "sign1",
+  // "int8", "topk"), coordinates per wire chunk, and the top-k keep
+  // fraction. "none" disables the transport layer entirely; such
+  // scenarios keep their pre-transport ids and JSONL bytes, so the
+  // committed golden traces stay valid (the layer is a provable no-op
+  // when off).
+  std::string codec = "none";
+  std::size_t codec_chunk = 4096;
+  double codec_k = 0.05;
   std::size_t rounds = 0;            // 0 = workload default for the scale
   std::size_t n_clients = 0;         // 0 = workload default
   std::uint64_t seed = 7;
@@ -67,6 +76,12 @@ struct SweepGrid {
   std::vector<double> participations = {1.0};
   std::vector<double> dropout_probs = {0.0};
   std::vector<double> straggler_probs = {0.0};
+  // Compression axis: one scenario per codec name. Chunk size and top-k
+  // fraction are grid-wide scalars (sweeping them too would square the
+  // grid; pin them per run instead).
+  std::vector<std::string> codecs = {"none"};
+  std::size_t codec_chunk = 4096;
+  double codec_k = 0.05;
   std::size_t rounds = 0;
   std::size_t n_clients = 0;
   std::uint64_t seed = 7;
@@ -85,6 +100,11 @@ struct RoundTrace {
   std::size_t dropped = 0;
   std::size_t stragglers = 0;
   std::size_t selected = 0;              // trusted-set size (0: non-selecting)
+  // Uplinks the wire decoder rejected this round. Deliberately NOT part
+  // of the folded trace checksum: the fold's word set is pinned by the
+  // committed goldens, and a reject already shifts `participants`,
+  // which is folded.
+  std::size_t decode_rejects = 0;
   std::optional<double> test_accuracy;
   bool skipped = false;
 };
@@ -108,6 +128,14 @@ struct ScenarioResult {
   std::size_t skipped_rounds = 0;
   std::size_t dropped_total = 0;
   std::size_t straggler_total = 0;
+  // Transport accounting over the run (all zero for codec "none"):
+  // encoded uplink bytes actually sent, the float32 cost of the same
+  // updates, rejected uplinks, and dense/sent as a float ratio (the
+  // JSONL's %.9g-round-trippable bandwidth field).
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t uplink_dense_bytes = 0;
+  std::size_t decode_rejects = 0;
+  float compression_ratio = 0.0f;
   std::vector<RoundTrace> rounds;     // empty unless capture_rounds
 
   // Non-deterministic timing; excluded from JSONL unless include_timing.

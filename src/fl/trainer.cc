@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <stdexcept>
 #include <string>
 
+#include "comm/wire.h"
 #include "common/gradient_matrix.h"
 #include "common/parallel.h"
 #include "fl/client.h"
@@ -34,6 +36,9 @@ Trainer::Trainer(const data::TrainTest& data, ModelFactory model_factory,
         "TrainerConfig: dropout_prob / straggler_prob must be in [0, 1]");
   if (cfg_.rounds == 0)
     throw std::invalid_argument("TrainerConfig: rounds must be > 0");
+  // A degenerate compression spec must also fail here, not mid-round:
+  // building the codec is cheap and runs every validation make_codec has.
+  comm::make_codec(cfg_.compression);
   n_byz_ = static_cast<std::size_t>(
       std::round(cfg_.byzantine_frac * double(cfg_.n_clients)));
 }
@@ -95,6 +100,48 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   // path below is allocation-free via the per-worker model workspaces).
   std::vector<std::size_t> byz_sel, benign_sel, benign_late, sampled, active;
   std::vector<attacks::GradientView> benign_views;
+
+  // Uplink transport (src/comm): active when a codec is configured or a
+  // tamper hook wants to exercise the wire path. Every participating
+  // row is encoded into its per-client buffer and decoded back into the
+  // same GradientMatrix row — the server-side view of the round. All
+  // buffers and scratch are allocated once and reused.
+  const bool transport_on =
+      cfg_.compression.codec != comm::CodecKind::kNone ||
+      static_cast<bool>(cfg_.uplink_tamper);
+  std::unique_ptr<comm::Codec> codec;
+  std::vector<std::vector<std::uint8_t>> uplink;          // per round row
+  std::vector<std::vector<comm::CodecScratch>> enc_scratch;  // per worker
+  std::vector<char> rejected;
+  std::uint64_t wire_bytes = 0;  // encoded_size(codec, dim), 0 when off
+  if (transport_on) {
+    codec = comm::make_codec(cfg_.compression);
+    uplink.resize(n);
+    rejected.reserve(n);
+    wire_bytes = comm::encoded_size(*codec, dim);
+  }
+  // Encodes round_grads rows [begin_row, end_row) through the wire —
+  // encode, optional tamper, decode back in place — marking rejects.
+  // client_of maps a row to its global client id (for the hook). Rows
+  // are independent, so the fan-out is bitwise thread-invariant.
+  const auto transport_rows = [&](std::size_t begin_row, std::size_t end_row,
+                                  auto client_of) {
+    if (enc_scratch.size() < common::thread_count())
+      enc_scratch.resize(common::thread_count());
+    common::parallel_chunks(
+        end_row - begin_row,
+        [&](std::size_t b, std::size_t e, std::size_t worker) {
+          for (std::size_t t = begin_row + b; t < begin_row + e; ++t) {
+            auto& buf = uplink[t];
+            comm::encode_into(*codec, round_grads.row(t), buf,
+                              enc_scratch[worker]);
+            if (cfg_.uplink_tamper) cfg_.uplink_tamper(client_of(t), buf);
+            if (comm::decode_into(*codec, buf, round_grads.row(t)) !=
+                comm::DecodeStatus::kOk)
+              rejected[t] = 1;
+          }
+        });
+  };
 
   for (std::size_t round = 0; round < cfg_.rounds; ++round) {
     attack.begin_round(round, attack_rng);
@@ -205,19 +252,59 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       continue;
     }
 
+    // Benign uplinks go through the wire first: what the attacker gets
+    // to observe — and what the server aggregates — is the decoded
+    // (post-compression) view of every honest gradient. A benign uplink
+    // only fails to decode under the tamper hook.
+    std::size_t benign_rejects = 0;
+    if (transport_on) {
+      rejected.assign(n_round, 0);
+      transport_rows(m_round, n_round, [&](std::size_t t) {
+        return benign_sel[t - m_round];
+      });
+      for (std::size_t t = m_round; t < n_round; ++t)
+        benign_rejects += rejected[t] != 0;
+      if (benign_rejects == n_round - m_round) {
+        // Every honest uplink was rejected: nothing trustworthy reached
+        // the server, so the round is skipped like a fully-dropped one.
+        // The Byzantine rows were never transported, so only the benign
+        // uplinks' bytes were spent.
+        const std::uint64_t sent = n_round - m_round;
+        result.uplink_bytes += sent * wire_bytes;
+        result.uplink_dense_bytes += sent * std::uint64_t(dim) * 4;
+        result.decode_rejects += benign_rejects;
+        if (observer) {
+          RoundObservation obs;
+          obs.round = round;
+          obs.attack_name = attack.name();
+          obs.dropped = n_dropped;
+          obs.stragglers = n_straggler;
+          obs.decode_rejects = benign_rejects;
+          obs.uplink_bytes = sent * wire_bytes;
+          obs.uplink_dense_bytes = sent * std::uint64_t(dim) * 4;
+          obs.skipped = true;
+          observer(obs);
+        }
+        continue;
+      }
+    }
+
     // The attacker observes the benign rows (and the honest Byzantine
     // gradients) as borrowed views of the round buffers — no copies.
+    // Rejected uplinks never reached the server, so they are invisible
+    // to the (omniscient-but-server-side) attacker too.
     benign_views.clear();
-    benign_views.reserve(n_round - m_round);
+    benign_views.reserve(n_round - m_round - benign_rejects);
     for (std::size_t t = m_round; t < n_round; ++t)
-      benign_views.push_back(round_grads.row(t));
+      if (!transport_on || !rejected[t])
+        benign_views.push_back(round_grads.row(t));
     const std::vector<attacks::GradientView> byz_views =
         byz_honest.row_views();
 
     attacks::AttackContext actx;
     actx.benign_grads = benign_views;
     actx.byz_honest_grads = byz_views;
-    actx.n_total = n_round;
+    actx.n_total = n_round - benign_rejects;
     actx.n_byzantine = m_round;
     actx.round = round;
     actx.rng = &attack_rng;
@@ -240,8 +327,39 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       std::copy(malicious[i].begin(), malicious[i].end(), row.begin());
     }
 
+    // Byzantine uplinks take the same wire as everyone else's: the
+    // crafted update is what gets compressed, so defenses face the
+    // attack as the codec delivers it. A Byzantine client shipping
+    // bytes that do not decode is simply rejected — its slot never
+    // reaches the aggregator.
+    std::size_t m_eff = m_round, n_eff = n_round;
+    std::size_t round_rejects = benign_rejects;
+    if (transport_on) {
+      transport_rows(0, m_round, [&](std::size_t t) { return byz_sel[t]; });
+      for (std::size_t t = 0; t < m_round; ++t)
+        round_rejects += rejected[t] != 0;
+      if (round_rejects > 0) {
+        // Compact the surviving rows into a prefix (Byzantine rows stay
+        // in front, order preserved) so the aggregator sees a dense
+        // matrix of exactly the updates that decoded.
+        std::size_t w = 0;
+        m_eff = 0;
+        for (std::size_t t = 0; t < n_round; ++t) {
+          if (rejected[t]) continue;
+          if (t < m_round) ++m_eff;
+          if (w != t) {
+            const auto src = round_grads.row(t);
+            std::copy(src.begin(), src.end(), round_grads.row(w).begin());
+          }
+          ++w;
+        }
+        n_eff = w;
+        round_grads.resize(n_eff, dim);
+      }
+    }
+
     agg::GarContext gctx;
-    gctx.assumed_byzantine = m_round;
+    gctx.assumed_byzantine = m_eff;
     gctx.round = round;
     gctx.rng = &gar_rng;
     const std::vector<float>& aggregate = server.step(round_grads, gctx);
@@ -249,7 +367,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     // Selection accounting (only meaningful for selecting rules).
     const auto selected = server.gar().last_selected();
     if (!selected.empty())
-      result.selection.accumulate(selected, m_round, n_round);
+      result.selection.accumulate(selected, m_eff, n_eff);
 
     // Periodic evaluation (always evaluate the final round).
     RoundObservation obs;
@@ -257,10 +375,18 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     obs.attack_name = attack.name();
     obs.aggregate = aggregate;
     obs.selected = selected;
-    obs.participants = n_round;
-    obs.byzantine = m_round;
+    obs.participants = n_eff;
+    obs.byzantine = m_eff;
     obs.dropped = n_dropped;
     obs.stragglers = n_straggler;
+    if (transport_on) {
+      obs.decode_rejects = round_rejects;
+      obs.uplink_bytes = n_round * wire_bytes;
+      obs.uplink_dense_bytes = std::uint64_t(n_round) * dim * 4;
+      result.uplink_bytes += obs.uplink_bytes;
+      result.uplink_dense_bytes += obs.uplink_dense_bytes;
+      result.decode_rejects += round_rejects;
+    }
     if ((round + 1) % cfg_.eval_every == 0 || round + 1 == cfg_.rounds) {
       model.set_parameters(server.parameters());
       const double acc = evaluate_accuracy(model, data_.test, 256,

@@ -11,9 +11,11 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "aggregators/aggregator.h"
 #include "attacks/attack.h"
+#include "comm/codec.h"
 #include "data/partition.h"
 #include "data/synth_image.h"  // TrainTest
 #include "fl/metrics.h"
@@ -49,6 +51,20 @@ struct TrainerConfig {
   // arrives too late and is discarded before aggregation.
   double dropout_prob = 0.0;
   double straggler_prob = 0.0;
+  // Uplink transport (src/comm): every participating client's gradient is
+  // encoded into a per-client wire buffer and the server decodes it
+  // straight into the round GradientMatrix row. The default codec kNone
+  // disables the layer entirely — the round is then bit-identical to the
+  // pre-transport pipeline (the golden traces prove it).
+  comm::CompressionSpec compression;
+  // Test/chaos hook: runs on each client's encoded uplink buffer before
+  // the server-side decode (the argument is the global client index). A
+  // mutation that no longer decodes surfaces as a per-client
+  // decode-reject: the update is dropped before aggregation and counted
+  // in RoundObservation::decode_rejects. Setting the hook activates the
+  // transport even under the kNone codec.
+  std::function<void(std::size_t client, std::vector<std::uint8_t>& buf)>
+      uplink_tamper;
   std::uint64_t seed = 7;
 };
 
@@ -71,6 +87,12 @@ struct RoundObservation {
   std::size_t byzantine = 0;     // Byzantine gradients among them
   std::size_t dropped = 0;       // clients lost to dropout injection
   std::size_t stragglers = 0;    // clients whose update arrived too late
+  // Transport accounting (all zero while the transport layer is off).
+  // `participants` above counts post-reject survivors; a rejected uplink
+  // was still paid for, so it contributes to the byte totals.
+  std::size_t decode_rejects = 0;     // uplinks the wire decoder refused
+  std::uint64_t uplink_bytes = 0;     // encoded bytes sent this round
+  std::uint64_t uplink_dense_bytes = 0;  // float32 cost of the same updates
   bool skipped = false;          // no honest participant -> no aggregation
 };
 using RoundObserver = std::function<void(const RoundObservation&)>;
@@ -80,7 +102,9 @@ class Trainer {
   // Throws std::invalid_argument for degenerate configurations: zero
   // clients, byzantine_frac outside [0, 0.5) (a Byzantine majority — in
   // particular m == n — is unsupported), participation outside (0, 1],
-  // or failure probabilities outside [0, 1].
+  // failure probabilities outside [0, 1], or a compression spec that
+  // comm::make_codec rejects (chunk outside [1, kMaxChunk], topk
+  // k_fraction outside (0, 1]).
   Trainer(const data::TrainTest& data, ModelFactory model_factory,
           TrainerConfig cfg);
 
