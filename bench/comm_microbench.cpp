@@ -1,37 +1,50 @@
 // Gradient-transport microbench: encode/decode throughput and wire-level
-// compression ratio for every comm codec at d in {100k, 1M} — the
-// uplink-bytes dimension of the ROADMAP's "millions of users" direction.
-// Emits machine-readable JSON (default BENCH_comm.json) for the bench
+// compression ratio for every comm codec at d in {100k, 1M}, the
+// compressed-domain statistics kernels (comm/stats.h), and the filtered
+// SignGuard round end to end — decode-everything vs the wire path that
+// filters on wire bytes and decodes only the trusted set. Emits
+// machine-readable JSON (default BENCH_comm.json) for the bench
 // trajectory and CI artifact upload.
 //
 // Usage:
 //   ./comm_microbench [--json=BENCH_comm.json] [--min-ms=120]
 //                     [--assert-sign1-ratio=16]
 //                     [--assert-sign1-decode-gbps=1.0]
+//                     [--assert-wirepath-filter-bytes=5]
+//                     [--assert-wirepath-speedup=1.1]
 //
-// The assertion flags are CI smoke guards for the transport layer's two
+// The assertion flags are CI smoke guards for the transport layer's
 // headline numbers: sign1 must shrink uplinks by at least the given
-// factor, and its single-thread decode must sustain at least the given
-// GB/s (gigabytes of *dense gradient* per second — the rate at which a
-// server core turns wire bytes back into GradientMatrix rows).
+// factor, its single-thread decode must sustain at least the given GB/s
+// (gigabytes of *dense gradient* per second), the wire path's filter
+// stage must touch at least the given factor fewer bytes than the
+// decode-everything filter stage (n=256, d=1M, sign1), and the whole
+// filtered round must be at least the given factor faster wall-clock.
 //
-// Everything is timed on ONE pool thread (set_thread_count(1)): the
-// committed numbers compare codec structure, not core counts, and stay
-// comparable across hosts. Throughput is dense bytes (4d) per second on
-// both directions, so encode and decode are directly comparable.
+// Codec structure rows are timed on ONE pool thread: the committed
+// numbers compare codec structure, not core counts, and stay comparable
+// across hosts. Pool-threaded rows (threads=4) ride alongside for the
+// decode and statistics kernels — on a single-core runner they show the
+// fan-out overhead floor, on multi-core hosts the scaling.
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <cstring>
 #include <functional>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "comm/codec.h"
+#include "comm/stats.h"
 #include "comm/wire.h"
+#include "common/gradient_matrix.h"
+#include "common/gradient_stats.h"
 #include "common/hash.h"
 #include "common/parallel.h"
+#include "common/rng.h"
+#include "core/signguard.h"
 
 namespace signguard {
 namespace {
@@ -57,28 +70,37 @@ double time_usec(const std::function<void()>& op) {
 struct Entry {
   std::string group, codec;
   std::size_t d = 0;
+  std::size_t threads = 1;
   double usec = 0.0;
-  double rate = 0.0;  // GB/s for encode/decode, x-factor for ratio
+  double rate = 0.0;  // GB/s for throughput rows, x-factor for ratios
 };
 
 std::vector<Entry> entries;
 
 void record(const std::string& group, const std::string& codec,
-            std::size_t d, double usec, double rate, const char* unit) {
-  entries.push_back({group, codec, d, usec, rate});
-  std::printf("%-8s %-6s d=%-8zu %12.1f us  %8.3f %s\n", group.c_str(),
-              codec.c_str(), d, usec, rate, unit);
+            std::size_t d, std::size_t threads, double usec, double rate,
+            const char* unit) {
+  entries.push_back({group, codec, d, threads, usec, rate});
+  std::printf("%-14s %-6s d=%-8zu t=%zu %12.1f us  %8.3f %s\n", group.c_str(),
+              codec.c_str(), d, threads, usec, rate, unit);
 }
 
 // Deterministic cheap fill (splitmix64 of the index): bench inputs must
 // not depend on RNG streaming speed, and stay identical across hosts.
+// The positive bias keeps the sign statistics of benign rows away from
+// 50/50, so the e2e cell's sign clusters are separable — same regime the
+// paper's benign gradients live in.
+void fill_row(std::span<float> row, std::uint64_t salt, float bias) {
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const std::uint64_t h = common::splitmix64(salt ^ (j * 0x9e3779b97f4a7c15ull));
+    row[j] =
+        static_cast<float>((double(h >> 11) * 0x1.0p-53 - 0.5) * 2.0) + bias;
+  }
+}
+
 std::vector<float> make_row(std::size_t d) {
   std::vector<float> row(d);
-  for (std::size_t j = 0; j < d; ++j) {
-    const std::uint64_t h = common::splitmix64(j);
-    row[j] =
-        static_cast<float>((double(h >> 11) * 0x1.0p-53 - 0.5) * 2.0 + 0.01);
-  }
+  fill_row(row, 0, 0.01f);
   return row;
 }
 
@@ -97,34 +119,215 @@ CodecNumbers bench_codec(comm::CodecKind kind, std::size_t d) {
   std::vector<comm::CodecScratch> scratch;
   const double dense_gb = double(d) * 4.0 / 1e9;
 
+  common::set_thread_count(1);
   const double enc_usec = time_usec(
       [&] { comm::encode_into(*codec, row, buf, scratch); });
-  record("encode", codec->name(), d, enc_usec, dense_gb / (enc_usec * 1e-6),
-         "GB/s");
-  const double dec_usec = time_usec([&] {
+  record("encode", codec->name(), d, 1, enc_usec,
+         dense_gb / (enc_usec * 1e-6), "GB/s");
+  const auto decode_op = [&] {
     if (comm::decode_into(*codec, buf, out) != comm::DecodeStatus::kOk)
       std::abort();
-  });
+  };
+  const double dec_usec = time_usec(decode_op);
   const double dec_gbps = dense_gb / (dec_usec * 1e-6);
-  record("decode", codec->name(), d, dec_usec, dec_gbps, "GB/s");
+  record("decode", codec->name(), d, 1, dec_usec, dec_gbps, "GB/s");
+  // Pool-threaded decode of the same buffer: chunk records fan out over
+  // the pool into disjoint coordinate ranges (bitwise-identical rows).
+  common::set_thread_count(4);
+  const double dec4_usec = time_usec(decode_op);
+  record("decode", codec->name(), d, 4, dec4_usec,
+         dense_gb / (dec4_usec * 1e-6), "GB/s");
+  common::set_thread_count(1);
   const double ratio = double(d) * 4.0 / double(buf.size());
-  record("ratio", codec->name(), d, 0.0, ratio, "x");
+  record("ratio", codec->name(), d, 1, 0.0, ratio, "x");
   return {ratio, dec_gbps};
+}
+
+// The compressed-domain statistics kernels over a small cohort: the
+// filter inputs (row norms + sampled sign statistics) computed straight
+// from wire bytes. Rates are dense-equivalent GB/s — the rate at which
+// the pass covers gradient coordinates it never materialized — directly
+// comparable to the decode rows above, which must pay that traffic.
+void bench_wire_stats(comm::CodecKind kind, std::size_t d) {
+  comm::CompressionSpec spec;
+  spec.codec = kind;
+  const auto codec = comm::make_codec(spec);
+  const std::size_t n = 8;
+  std::vector<std::vector<std::uint8_t>> uplinks(n);
+  std::vector<comm::CodecScratch> scratch;
+  std::vector<float> row(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    fill_row(row, i + 1, 0.01f);
+    comm::encode_into(*codec, row, uplinks[i], scratch);
+  }
+  const comm::WireRound wire{codec.get(), uplinks, d};
+  Rng rng(1);
+  const auto coords = select_coordinates(d, 0.1, rng);
+  const comm::CoordMask mask(d, codec->chunk(), coords);
+  const double dense_gb = double(n) * double(d) * 4.0 / 1e9;
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    common::set_thread_count(threads);
+    const double norm_usec =
+        time_usec([&] { (void)comm::wire_row_norms(wire); });
+    record("norms", codec->name(), d, threads, norm_usec,
+           dense_gb / (norm_usec * 1e-6), "GB/s");
+    const double sign_usec =
+        time_usec([&] { (void)comm::wire_sign_stats(wire, mask); });
+    record("signstats", codec->name(), d, threads, sign_usec,
+           dense_gb / (sign_usec * 1e-6), "GB/s");
+    if (kind == comm::CodecKind::kSign1) {
+      // The popcount pass's traffic in *wire* bytes: per row the packed
+      // sign bits plus the shared coordinate mask.
+      const double wire_gb =
+          double(n) * 2.0 * (double(d) / 8.0) / 1e9;
+      record("signstats-wire", codec->name(), d, threads, sign_usec,
+             wire_gb / (sign_usec * 1e-6), "GB/s");
+    }
+  }
+  common::set_thread_count(1);
+}
+
+struct WirePathNumbers {
+  double filter_bytes_ratio = 0.0;
+  double speedup = 0.0;  // threads=1 round wall-clock, decode/wire
+};
+
+// The tentpole cell: one SignGuard aggregation round at cohort scale
+// (n=256 clients, d=1M, sign1), ~20% adversarial rows (half sign-flipped
+// inside the norm band, half norm-inflated), timed both ways from the
+// same validated uplinks:
+//   decode path: decode all n uplinks into the round matrix, then
+//                SignGuard::aggregate on the matrix
+//   wire path:   SignGuard::aggregate_wire — filters on wire statistics,
+//                decodes only the trusted set
+// The two are bitwise-identical by contract (checked here with fresh
+// same-seed instances before timing; the test suite pins it down across
+// the full codec/attack grid).
+WirePathNumbers bench_filtered_round() {
+  const std::size_t n = 256, d = 1'000'000;
+  const std::size_t n_byz = n / 5;  // 51 adversarial rows
+  comm::CompressionSpec spec;
+  spec.codec = comm::CodecKind::kSign1;
+  const auto codec = comm::make_codec(spec);
+
+  std::vector<std::vector<std::uint8_t>> uplinks(n);
+  std::vector<comm::CodecScratch> scratch;
+  std::vector<float> row(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    fill_row(row, i + 1, 0.2f);
+    if (i < n_byz / 2) {
+      for (auto& v : row) v = -v;  // sign flip, norm preserved
+    } else if (i < n_byz) {
+      for (auto& v : row) v *= 100.0f;  // norm inflation
+    }
+    comm::encode_into(*codec, row, uplinks[i], scratch);
+    if (comm::validate(*codec, uplinks[i], d) != comm::DecodeStatus::kOk)
+      std::abort();
+  }
+  const comm::WireRound wire{codec.get(), uplinks, d};
+  const agg::GarContext ctx;
+
+  common::GradientMatrix grads(n, d);
+  const auto decode_all = [&] {
+    for (std::size_t i = 0; i < n; ++i)
+      if (comm::decode_into(*codec, uplinks[i], grads.row(i)) !=
+          comm::DecodeStatus::kOk)
+        std::abort();
+  };
+
+  // Bitwise sanity at full bench scale: fresh same-seed instances.
+  decode_all();
+  std::size_t n_selected = 0;
+  {
+    core::SignGuard a(core::plain_config(5)), b(core::plain_config(5));
+    const auto ref = a.aggregate(grads, ctx);
+    const auto got = b.aggregate_wire(wire, ctx);
+    if (a.last_selected() != b.last_selected() || ref.size() != got.size() ||
+        std::memcmp(ref.data(), got.data(), ref.size() * 4) != 0) {
+      std::fprintf(stderr, "FAIL: wire path diverged from decode path\n");
+      std::abort();
+    }
+    n_selected = b.last_selected().size();
+    if (n_selected + n_byz / 2 > n) {
+      std::fprintf(stderr, "FAIL: norm-inflated rows were admitted\n");
+      std::abort();
+    }
+  }
+  std::printf("filtered round: n=%zu d=%zu byz=%zu -> trusted=%zu\n", n, d,
+              n_byz, n_selected);
+
+  WirePathNumbers out;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    common::set_thread_count(threads);
+    core::SignGuard sg_dec(core::plain_config(9));
+    const double dec_usec = time_usec([&] {
+      decode_all();
+      (void)sg_dec.aggregate(grads, ctx);
+    });
+    const double dense_gb = double(n) * double(d) * 4.0 / 1e9;
+    record("round-decode", "sign1", d, threads, dec_usec,
+           dense_gb / (dec_usec * 1e-6), "GB/s");
+    core::SignGuard sg_wire(core::plain_config(9));
+    const double wire_usec =
+        time_usec([&] { (void)sg_wire.aggregate_wire(wire, ctx); });
+    record("round-wire", "sign1", d, threads, wire_usec,
+           dense_gb / (wire_usec * 1e-6), "GB/s");
+    const double speedup = dec_usec / wire_usec;
+    record("round-speedup", "sign1", d, threads, 0.0, speedup, "x");
+    if (threads == 1) out.speedup = speedup;
+  }
+  common::set_thread_count(1);
+
+  // Bytes the FILTER stage touches to reach the admission decision —
+  // the traffic the wire path exists to avoid. Decode path: read every
+  // wire buffer, write 4d dense floats per row, read them back for the
+  // norm pass, gather the sampled coordinates for the sign pass. Wire
+  // path: 4 scale bytes per chunk for the norms, the packed sign bits
+  // plus the shared mask for the popcount pass. Survivor decoding is
+  // excluded on both sides — the wire path pays it too, once, for the
+  // |trusted| rows the round actually aggregates.
+  std::uint64_t wire_bytes = 0;
+  for (const auto& u : uplinks) wire_bytes += u.size();
+  Rng crng(1);
+  const std::size_t n_coords = select_coordinates(d, 0.1, crng).size();
+  const double decode_filter =
+      double(wire_bytes) + 2.0 * 4.0 * double(n) * double(d) +
+      4.0 * double(n) * double(n_coords);
+  const auto layout = comm::wire_layout(*codec, d);
+  const double wire_filter =
+      double(n) * (4.0 * double(layout.n_chunks) + 2.0 * double(d) / 8.0);
+  out.filter_bytes_ratio = decode_filter / wire_filter;
+  record("filter-bytes", "sign1", d, 1, 0.0, out.filter_bytes_ratio, "x");
+  return out;
 }
 
 void write_json(const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
-  out << "{\n  \"schema\": \"signguard/comm_microbench/v1\",\n"
-      << "  \"threads\": 1,\n  \"entries\": [\n";
+  out << "{\n  \"schema\": \"signguard/comm_microbench/v2\",\n"
+      << "  \"entries\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     out << "    {\"group\": \"" << e.group << "\", \"codec\": \"" << e.codec
-        << "\", \"d\": " << e.d << ", \"usec\": " << e.usec
-        << ", \"rate\": " << e.rate << "}"
+        << "\", \"d\": " << e.d << ", \"threads\": " << e.threads
+        << ", \"usec\": " << e.usec << ", \"rate\": " << e.rate << "}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+}
+
+bool check_min(const char* what, double got, const std::string& need_arg,
+               const char* unit) {
+  if (need_arg.empty()) return true;
+  const double need = std::stod(need_arg);
+  if (got < need) {
+    std::fprintf(stderr, "FAIL: %s %.2f%s < required %.2f%s\n", what, got,
+                 unit, need, unit);
+    return false;
+  }
+  std::printf("%s %.2f%s >= required %.2f%s\n", what, got, unit, need, unit);
+  return true;
 }
 
 }  // namespace
@@ -137,10 +340,6 @@ int main(int argc, char** argv) {
   min_ms = std::stod(bench::arg_value(argc, argv, "min-ms", "120"));
   const std::string json_path =
       bench::arg_value(argc, argv, "json", "BENCH_comm.json");
-  const std::string ratio_arg =
-      bench::arg_value(argc, argv, "assert-sign1-ratio", "");
-  const std::string gbps_arg =
-      bench::arg_value(argc, argv, "assert-sign1-decode-gbps", "");
 
   CodecNumbers sign1_1m;
   for (const std::size_t d : {std::size_t{100'000}, std::size_t{1'000'000}}) {
@@ -151,33 +350,24 @@ int main(int argc, char** argv) {
       if (kind == comm::CodecKind::kSign1 && d == 1'000'000) sign1_1m = n;
     }
   }
+  for (const auto kind :
+       {comm::CodecKind::kNone, comm::CodecKind::kSign1,
+        comm::CodecKind::kInt8, comm::CodecKind::kTopK})
+    bench_wire_stats(kind, 1'000'000);
+  const WirePathNumbers wp = bench_filtered_round();
   write_json(json_path);
 
-  int rc = 0;
-  if (!ratio_arg.empty()) {
-    const double need = std::stod(ratio_arg);
-    if (sign1_1m.ratio < need) {
-      std::fprintf(stderr,
-                   "FAIL: sign1 compression ratio %.2fx < required %.2fx\n",
-                   sign1_1m.ratio, need);
-      rc = 1;
-    } else {
-      std::printf("sign1 ratio %.2fx >= required %.2fx\n", sign1_1m.ratio,
-                  need);
-    }
-  }
-  if (!gbps_arg.empty()) {
-    const double need = std::stod(gbps_arg);
-    if (sign1_1m.decode_gbps < need) {
-      std::fprintf(stderr,
-                   "FAIL: sign1 decode %.2f GB/s < required %.2f GB/s "
-                   "single-thread\n",
-                   sign1_1m.decode_gbps, need);
-      rc = 1;
-    } else {
-      std::printf("sign1 decode %.2f GB/s >= required %.2f GB/s\n",
-                  sign1_1m.decode_gbps, need);
-    }
-  }
-  return rc;
+  bool ok = true;
+  ok &= check_min("sign1 compression ratio", sign1_1m.ratio,
+                  bench::arg_value(argc, argv, "assert-sign1-ratio", ""), "x");
+  ok &= check_min(
+      "sign1 decode", sign1_1m.decode_gbps,
+      bench::arg_value(argc, argv, "assert-sign1-decode-gbps", ""), " GB/s");
+  ok &= check_min(
+      "wire-path filter-bytes advantage", wp.filter_bytes_ratio,
+      bench::arg_value(argc, argv, "assert-wirepath-filter-bytes", ""), "x");
+  ok &= check_min("wire-path filtered-round speedup", wp.speedup,
+                  bench::arg_value(argc, argv, "assert-wirepath-speedup", ""),
+                  "x");
+  return ok ? 0 : 1;
 }

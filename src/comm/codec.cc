@@ -66,6 +66,40 @@ class NoneCodec final : public Codec {
     }
     return bad == 0;
   }
+
+  bool validate_chunk(std::span<const std::uint8_t> in,
+                      std::size_t len) const override {
+    std::uint32_t bad = 0;
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::uint32_t bits =
+          std::bit_cast<std::uint32_t>(get_f32(in.data() + j * 4));
+      bad |= static_cast<std::uint32_t>((bits & 0x7f800000u) == 0x7f800000u);
+    }
+    return bad == 0;
+  }
+
+  double chunk_norm2(std::span<const std::uint8_t> in, std::size_t len,
+                     double acc) const override {
+    for (std::size_t j = 0; j < len; ++j) {
+      const double v = double(get_f32(in.data() + j * 4));
+      acc += v * v;
+    }
+    return acc;
+  }
+
+  void chunk_sign_counts(std::span<const std::uint8_t> in, std::size_t,
+                         const ChunkCoords& coords,
+                         std::size_t counts[3]) const override {
+    for (const std::uint32_t o : coords.offsets) {
+      const float v = get_f32(in.data() + std::size_t{o} * 4);
+      if (v > 0.0f)
+        ++counts[0];
+      else if (v < 0.0f)
+        ++counts[2];
+      else
+        ++counts[1];
+    }
+  }
 };
 
 // ---- sign1: 1-bit signs + per-chunk mean-|x| scale ------------------------
@@ -130,6 +164,58 @@ class Sign1Codec final : public Codec {
     for (std::size_t j = full; j < len; ++j)
       out[j] = vals[(bits[j >> 3] >> (j & 7u)) & 1u];
     return true;
+  }
+
+  bool validate_chunk(std::span<const std::uint8_t> in,
+                      std::size_t) const override {
+    return valid_scale(get_f32(in.data()));
+  }
+
+  double chunk_norm2(std::span<const std::uint8_t> in, std::size_t len,
+                     double acc) const override {
+    // Every decoded coordinate is ±scale and IEEE multiplication gives
+    // (-s)*(-s) the identical bits as s*s, so the decode-path chain
+    // `acc += double(out[j]) * double(out[j])` degenerates to len
+    // additions of one precomputed square. Zero payload-byte traffic:
+    // the whole chunk's norm contribution comes from 4 scale bytes.
+    const double s = double(get_f32(in.data()));
+    const double q = s * s;
+    for (std::size_t j = 0; j < len; ++j) acc += q;
+    return acc;
+  }
+
+  void chunk_sign_counts(std::span<const std::uint8_t> in, std::size_t len,
+                         const ChunkCoords& coords,
+                         std::size_t counts[3]) const override {
+    const std::size_t m = coords.offsets.size();
+    const float scale = get_f32(in.data());
+    if (!(scale > 0.0f)) {
+      // valid_scale leaves exactly one non-positive scale: +0.0, which
+      // decodes every coordinate to ±0.0f — all zeros to the census.
+      counts[1] += m;
+      return;
+    }
+    // Masked 64-bit popcount over the payload bits: bit 1 decodes to
+    // +scale (positive), bit 0 to -scale (negative), so the sampled
+    // positive count is popcount(payload & mask) and the rest of the
+    // sample is negative. This is the wire path's hot loop — ~d/8 bytes
+    // per chunk instead of 4d decoded plus the float gather.
+    const std::uint8_t* bits = in.data() + 4;
+    const std::uint8_t* mask = coords.mask.data();
+    const std::size_t nbytes = (len + 7) / 8;
+    std::size_t pos = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= nbytes; i += 8) {
+      std::uint64_t b, mk;
+      std::memcpy(&b, bits + i, 8);
+      std::memcpy(&mk, mask + i, 8);
+      pos += static_cast<std::size_t>(std::popcount(b & mk));
+    }
+    for (; i < nbytes; ++i)
+      pos += static_cast<std::size_t>(
+          std::popcount(static_cast<unsigned>(bits[i] & mask[i])));
+    counts[0] += pos;
+    counts[2] += m - pos;
   }
 };
 
@@ -222,6 +308,54 @@ class Int8Codec final : public Codec {
       out[j] = table[c];
     }
     return bad == 0;
+  }
+
+  bool validate_chunk(std::span<const std::uint8_t> in,
+                      std::size_t len) const override {
+    const int e = static_cast<std::int16_t>(get_u16(in.data()));
+    if (e < kInt8MinExp || e > kInt8MaxExp) return false;
+    const std::uint8_t* codes = in.data() + 2;
+    std::uint32_t bad = 0;
+    for (std::size_t j = 0; j < len; ++j)
+      bad |= static_cast<std::uint32_t>(codes[j] == 0x80u);
+    return bad == 0;
+  }
+
+  double chunk_norm2(std::span<const std::uint8_t> in, std::size_t len,
+                     double acc) const override {
+    const int e = static_cast<std::int16_t>(get_u16(in.data()));
+    const std::uint8_t* codes = in.data() + 2;
+    // Squared decode table in double: q2[c] is bitwise
+    // double(table_f32[c]) * double(table_f32[c]), the exact term the
+    // decode-path norm chain adds for code c. The chunk then costs one
+    // table gather per byte instead of a float materialization.
+    double q2[256];
+    for (int b = 0; b < 256; ++b) {
+      const float f =
+          std::ldexp(static_cast<float>(static_cast<std::int8_t>(b)), e);
+      const double d = double(f);
+      q2[b] = d * d;
+    }
+    for (std::size_t j = 0; j < len; ++j) acc += q2[codes[j]];
+    return acc;
+  }
+
+  void chunk_sign_counts(std::span<const std::uint8_t> in, std::size_t,
+                         const ChunkCoords& coords,
+                         std::size_t counts[3]) const override {
+    // Exact ldexp by a legal exponent never flushes a nonzero code to
+    // zero (e >= -149 keeps even ±2^-149 representable), so the decoded
+    // sign IS the code's sign.
+    const std::uint8_t* codes = in.data() + 2;
+    for (const std::uint32_t o : coords.offsets) {
+      const auto c = static_cast<std::int8_t>(codes[o]);
+      if (c > 0)
+        ++counts[0];
+      else if (c < 0)
+        ++counts[2];
+      else
+        ++counts[1];
+    }
   }
 };
 
@@ -319,6 +453,74 @@ class TopKCodec final : public Codec {
       out[idx] = v;
     }
     return true;
+  }
+
+  bool validate_chunk(std::span<const std::uint8_t> in,
+                      std::size_t len) const override {
+    // Same walk as decode_chunk minus the zero-fill and scatter.
+    const std::size_t k = keep_count(len);
+    if (get_u16(in.data()) != k) return false;
+    const std::uint8_t* values = in.data() + 2;
+    const std::uint8_t* deltas = in.data() + 2 + k * 4;
+    std::size_t idx = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t step = get_u16(deltas + j * 2);
+      if (j > 0 && step == 0) return false;
+      idx += step;
+      if (idx >= len) return false;
+      if (!std::isfinite(get_f32(values + j * 4))) return false;
+    }
+    return true;
+  }
+
+  double chunk_norm2(std::span<const std::uint8_t> in, std::size_t len,
+                     double acc) const override {
+    // The decoded chunk is zero everywhere but the k stored entries, and
+    // a +0.0 addend never changes the accumulation chain: acc starts at
+    // +0.0 and only ever gains non-negative squares, so it is never -0.0
+    // and x + 0.0 == x bitwise. Dropping the zero terms and walking the
+    // stored values in index order therefore reproduces the full-chunk
+    // chain exactly.
+    const std::size_t k = keep_count(len);
+    const std::uint8_t* values = in.data() + 2;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double v = double(get_f32(values + j * 4));
+      acc += v * v;
+    }
+    return acc;
+  }
+
+  void chunk_sign_counts(std::span<const std::uint8_t> in, std::size_t len,
+                         const ChunkCoords& coords,
+                         std::size_t counts[3]) const override {
+    // Two-pointer merge of the sampled offsets (ascending by the
+    // ChunkCoords contract) with the stored indices (strictly ascending
+    // by the wire contract): a sampled coordinate that is not stored
+    // decoded to 0.0f.
+    const std::size_t k = keep_count(len);
+    const std::uint8_t* values = in.data() + 2;
+    const std::uint8_t* deltas = in.data() + 2 + k * 4;
+    const auto& offs = coords.offsets;
+    std::size_t oi = 0;
+    std::size_t idx = 0;
+    for (std::size_t j = 0; j < k && oi < offs.size(); ++j) {
+      idx += get_u16(deltas + j * 2);
+      while (oi < offs.size() && offs[oi] < idx) {
+        ++counts[1];
+        ++oi;
+      }
+      if (oi < offs.size() && offs[oi] == idx) {
+        const float v = get_f32(values + j * 4);
+        if (v > 0.0f)
+          ++counts[0];
+        else if (v < 0.0f)
+          ++counts[2];
+        else
+          ++counts[1];
+        ++oi;
+      }
+    }
+    counts[1] += offs.size() - oi;
   }
 
  private:

@@ -76,6 +76,18 @@ struct CodecScratch {
   std::vector<std::uint32_t> order;
 };
 
+// Sampled-coordinate view of one chunk for the compressed-domain sign
+// statistics (comm/stats.h builds one per chunk, shared by every client
+// in the round). Both members describe the same coordinate subset:
+//   offsets  in-chunk coordinate offsets, strictly ascending, distinct
+//   mask     the same offsets as packed bits, (len + 7) / 8 bytes in the
+//            sign1 payload bit layout (bit j of byte j/8 = offset j
+//            sampled), so sign counting is one masked popcount sweep
+struct ChunkCoords {
+  std::span<const std::uint32_t> offsets;
+  std::span<const std::uint8_t> mask;
+};
+
 class Codec {
  public:
   explicit Codec(std::size_t chunk) : chunk_(chunk) {}
@@ -101,6 +113,37 @@ class Codec {
   // layer surfaces that as DecodeStatus::kMalformedChunk).
   virtual bool decode_chunk(std::span<const std::uint8_t> in,
                             std::span<float> out) const = 0;
+
+  // --- compressed-domain statistics (the SIGNGUARD_WIREPATH=wire path) ---
+  // The three hooks below let the server run SignGuard's filters on wire
+  // bytes without materializing floats. Each consumes a payload of
+  // exactly chunk_payload_size(len) bytes and is bitwise-equivalent to
+  // the corresponding scan of the decoded chunk; the equivalence is what
+  // tests/test_comm.cc's CommStats suite pins down per codec.
+
+  // True iff decode_chunk would accept the payload — same acceptance
+  // predicate, no output writes. Runs BEFORE any statistics hook: the
+  // stats contracts below only hold for validated payloads.
+  virtual bool validate_chunk(std::span<const std::uint8_t> in,
+                              std::size_t len) const = 0;
+
+  // Continues the squared-norm accumulation chain over the decoded chunk
+  // in coordinate order, starting from `acc`. Bitwise identical to
+  //   for (j in chunk) acc += double(x[j]) * double(x[j]);
+  // on the decoded coordinates (the sequential-double-chain contract of
+  // vec::dot), which is what makes wire-path norms equal decode-path
+  // norms bit for bit.
+  virtual double chunk_norm2(std::span<const std::uint8_t> in,
+                             std::size_t len, double acc) const = 0;
+
+  // Sign census of the decoded chunk restricted to the sampled offsets
+  // in `coords`: adds into counts[0] (x > 0), counts[1] (x == 0),
+  // counts[2] (x < 0). Integer counts are order-free, so this is exact
+  // regardless of traversal; sign1 implements it as a masked popcount
+  // over the payload bits.
+  virtual void chunk_sign_counts(std::span<const std::uint8_t> in,
+                                 std::size_t len, const ChunkCoords& coords,
+                                 std::size_t counts[3]) const = 0;
 
  private:
   std::size_t chunk_;

@@ -27,18 +27,50 @@ inline std::uint64_t get_u64(const std::uint8_t* p) {
   return v;
 }
 
-// Chunk geometry for a d-coordinate row: record sizes are fixed for
-// every chunk but the tail, so record c starts at
-// kWireHeaderSize + c * full_record.
-struct Layout {
-  std::size_t n_chunks = 0;
-  std::size_t tail_len = 0;     // coords in the last chunk
-  std::size_t full_record = 0;  // bytes of a full chunk's record
-  std::size_t total = kWireHeaderSize;
-};
+// Everything up to (but not including) the per-chunk codec decode:
+// header fields, record structure, and the payload checksum. Shared by
+// decode_into and validate so the two can never drift apart on which
+// buffers they accept.
+DecodeStatus check_structure(const Codec& codec,
+                             std::span<const std::uint8_t> buf, std::size_t d,
+                             const WireLayout& l) {
+  const std::size_t chunk = codec.chunk();
+  if (buf.size() < kWireHeaderSize) return DecodeStatus::kTruncated;
+  const std::uint8_t* h = buf.data();
+  if (h[0] != 'S' || h[1] != 'G' || h[2] != 'T' || h[3] != '1' || h[5] != 0 ||
+      h[6] != 0 || h[7] != 0)
+    return DecodeStatus::kBadMagic;
+  if (h[4] != static_cast<std::uint8_t>(codec.kind()))
+    return DecodeStatus::kCodecMismatch;
+  if (get_u64(h + 8) != d) return DecodeStatus::kDimMismatch;
+  if (get_u32(h + 16) != chunk) return DecodeStatus::kChunkMismatch;
 
-Layout layout_of(const Codec& codec, std::size_t d) {
-  Layout l;
+  // Structural walk before the checksum: a buffer cut short reports
+  // kTruncated (the likely transport failure), while a size-consistent
+  // buffer with damaged bytes reports kChecksumMismatch below.
+  std::size_t off = kWireHeaderSize;
+  for (std::size_t c = 0; c < l.n_chunks; ++c) {
+    if (buf.size() - off < 4) return DecodeStatus::kTruncated;
+    const std::size_t len = c + 1 == l.n_chunks ? l.tail_len : chunk;
+    const std::size_t psize = codec.chunk_payload_size(len);
+    if (get_u32(buf.data() + off) != psize)
+      return DecodeStatus::kBadChunkLength;
+    if (buf.size() - off - 4 < psize) return DecodeStatus::kTruncated;
+    off += 4 + psize;
+  }
+  if (off != buf.size()) return DecodeStatus::kTrailingBytes;
+
+  if (get_u64(h + 20) !=
+      common::fnv1a64(buf.data() + kWireHeaderSize,
+                      buf.size() - kWireHeaderSize))
+    return DecodeStatus::kChecksumMismatch;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace
+
+WireLayout wire_layout(const Codec& codec, std::size_t d) {
+  WireLayout l;
   const std::size_t chunk = codec.chunk();
   if (d == 0) return l;
   l.n_chunks = (d + chunk - 1) / chunk;
@@ -48,8 +80,6 @@ Layout layout_of(const Codec& codec, std::size_t d) {
             codec.chunk_payload_size(l.tail_len);
   return l;
 }
-
-}  // namespace
 
 const char* to_string(DecodeStatus status) {
   switch (status) {
@@ -78,7 +108,7 @@ const char* to_string(DecodeStatus status) {
 }
 
 std::size_t encoded_size(const Codec& codec, std::size_t d) {
-  return layout_of(codec, d).total;
+  return wire_layout(codec, d).total;
 }
 
 void encode_into(const Codec& codec, std::span<const float> row,
@@ -86,7 +116,7 @@ void encode_into(const Codec& codec, std::span<const float> row,
                  std::vector<CodecScratch>& scratch) {
   const std::size_t d = row.size();
   const std::size_t chunk = codec.chunk();
-  const Layout l = layout_of(codec, d);
+  const WireLayout l = wire_layout(codec, d);
   out.resize(l.total);
 
   std::uint8_t* h = out.data();
@@ -125,36 +155,9 @@ DecodeStatus decode_into(const Codec& codec,
                          std::span<float> row) {
   const std::size_t d = row.size();
   const std::size_t chunk = codec.chunk();
-  if (buf.size() < kWireHeaderSize) return DecodeStatus::kTruncated;
-  const std::uint8_t* h = buf.data();
-  if (h[0] != 'S' || h[1] != 'G' || h[2] != 'T' || h[3] != '1' || h[5] != 0 ||
-      h[6] != 0 || h[7] != 0)
-    return DecodeStatus::kBadMagic;
-  if (h[4] != static_cast<std::uint8_t>(codec.kind()))
-    return DecodeStatus::kCodecMismatch;
-  if (get_u64(h + 8) != d) return DecodeStatus::kDimMismatch;
-  if (get_u32(h + 16) != chunk) return DecodeStatus::kChunkMismatch;
-
-  // Structural walk before the checksum: a buffer cut short reports
-  // kTruncated (the likely transport failure), while a size-consistent
-  // buffer with damaged bytes reports kChecksumMismatch below.
-  const Layout l = layout_of(codec, d);
-  std::size_t off = kWireHeaderSize;
-  for (std::size_t c = 0; c < l.n_chunks; ++c) {
-    if (buf.size() - off < 4) return DecodeStatus::kTruncated;
-    const std::size_t len = c + 1 == l.n_chunks ? l.tail_len : chunk;
-    const std::size_t psize = codec.chunk_payload_size(len);
-    if (get_u32(buf.data() + off) != psize)
-      return DecodeStatus::kBadChunkLength;
-    if (buf.size() - off - 4 < psize) return DecodeStatus::kTruncated;
-    off += 4 + psize;
-  }
-  if (off != buf.size()) return DecodeStatus::kTrailingBytes;
-
-  if (get_u64(h + 20) !=
-      common::fnv1a64(buf.data() + kWireHeaderSize,
-                      buf.size() - kWireHeaderSize))
-    return DecodeStatus::kChecksumMismatch;
+  const WireLayout l = wire_layout(codec, d);
+  const DecodeStatus st = check_structure(codec, buf, d, l);
+  if (st != DecodeStatus::kOk) return st;
 
   // Every record's offset and length is now verified; decode the chunks
   // concurrently into disjoint coordinate ranges of the row.
@@ -169,6 +172,27 @@ DecodeStatus decode_into(const Codec& codec,
           if (!codec.decode_chunk({rec + 4, psize},
                                   row.subspan(c * chunk, len)))
             ok.store(false);
+        }
+      });
+  return ok.load() ? DecodeStatus::kOk : DecodeStatus::kMalformedChunk;
+}
+
+DecodeStatus validate(const Codec& codec, std::span<const std::uint8_t> buf,
+                      std::size_t d) {
+  const std::size_t chunk = codec.chunk();
+  const WireLayout l = wire_layout(codec, d);
+  const DecodeStatus st = check_structure(codec, buf, d, l);
+  if (st != DecodeStatus::kOk) return st;
+
+  std::atomic<bool> ok{true};
+  common::parallel_chunks(
+      l.n_chunks, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t c = begin; c < end && ok.load(); ++c) {
+          const std::size_t len = c + 1 == l.n_chunks ? l.tail_len : chunk;
+          const std::size_t psize = codec.chunk_payload_size(len);
+          const std::uint8_t* rec =
+              buf.data() + kWireHeaderSize + c * l.full_record;
+          if (!codec.validate_chunk({rec + 4, psize}, len)) ok.store(false);
         }
       });
   return ok.load() ? DecodeStatus::kOk : DecodeStatus::kMalformedChunk;

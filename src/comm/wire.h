@@ -51,6 +51,20 @@ const char* to_string(DecodeStatus status);
 
 inline constexpr std::size_t kWireHeaderSize = 28;
 
+// Chunk geometry of a d-coordinate row under `codec`: record sizes are
+// fixed for every chunk but the tail, so record c starts at
+// kWireHeaderSize + c * full_record. Data-independent (the codec
+// contract), which is what lets the compressed-domain statistics pass
+// in comm/stats.h walk a validated buffer without re-deriving offsets.
+struct WireLayout {
+  std::size_t n_chunks = 0;
+  std::size_t tail_len = 0;     // coords in the last chunk
+  std::size_t full_record = 0;  // bytes of a full chunk's record
+  std::size_t total = kWireHeaderSize;
+};
+
+WireLayout wire_layout(const Codec& codec, std::size_t d);
+
 // Exact wire size of a d-coordinate row under `codec` — header, length
 // prefixes and payloads. Data-independent (uplink accounting uses it as
 // the per-client cost without touching gradient bytes).
@@ -70,5 +84,15 @@ void encode_into(const Codec& codec, std::span<const float> row,
 DecodeStatus decode_into(const Codec& codec,
                          std::span<const std::uint8_t> buf,
                          std::span<float> row);
+
+// Full acceptance check without materializing a single float: identical
+// structural walk, checksum, and per-chunk codec validation, so
+// validate(...) == kOk  <=>  decode_into(...) == kOk (and the statuses
+// match on rejection too — the test suite pins this down over the
+// adversarial corpus). The compressed-domain statistics pass
+// (comm/stats.h) runs only on buffers this accepted, which is how
+// hostile bytes are rejected before any filter sees a statistic.
+DecodeStatus validate(const Codec& codec, std::span<const std::uint8_t> buf,
+                      std::size_t d);
 
 }  // namespace signguard::comm

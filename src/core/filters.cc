@@ -12,10 +12,10 @@
 
 namespace signguard::core {
 
-NormFilterResult norm_filter(const common::GradientMatrix& grads,
-                             const NormFilterConfig& cfg) {
+NormFilterResult norm_filter_from_norms(std::vector<double> norms,
+                                        const NormFilterConfig& cfg) {
   NormFilterResult r;
-  r.norms = vec::row_norms(grads);
+  r.norms = std::move(norms);
   // Byzantine payloads may carry NaN/Inf; they are rejected outright and
   // excluded from the median so they cannot poison the reference norm.
   std::vector<double> finite;
@@ -27,16 +27,21 @@ NormFilterResult norm_filter(const common::GradientMatrix& grads,
   // Degenerate case: all-zero gradients; accept the finite ones (nothing
   // to threshold against) and let aggregation return zero.
   if (r.median_norm <= 0.0) {
-    for (std::size_t i = 0; i < grads.rows(); ++i)
+    for (std::size_t i = 0; i < r.norms.size(); ++i)
       if (std::isfinite(r.norms[i])) r.accepted.push_back(i);
     return r;
   }
-  for (std::size_t i = 0; i < grads.rows(); ++i) {
+  for (std::size_t i = 0; i < r.norms.size(); ++i) {
     if (!std::isfinite(r.norms[i])) continue;
     const double ratio = r.norms[i] / r.median_norm;
     if (ratio >= cfg.lower && ratio <= cfg.upper) r.accepted.push_back(i);
   }
   return r;
+}
+
+NormFilterResult norm_filter(const common::GradientMatrix& grads,
+                             const NormFilterConfig& cfg) {
+  return norm_filter_from_norms(vec::row_norms(grads), cfg);
 }
 
 NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
@@ -67,7 +72,6 @@ SignClusterResult sign_cluster_filter(const common::GradientMatrix& grads,
   // threaded row_dots/row_norms pass against the reference, or one
   // threaded pairwise block when no reference exists yet.
   std::vector<double> similarity(n, 0.0);
-  const bool has_similarity = cfg.similarity != SimilarityFeature::kNone;
   switch (cfg.similarity) {
     case SimilarityFeature::kNone:
       break;  // plain SignGuard: sign statistics only
@@ -103,6 +107,18 @@ SignClusterResult sign_cluster_filter(const common::GradientMatrix& grads,
     }
   }
 
+  return sign_cluster_filter_from_stats(stats_rows, similarity, cfg, rng);
+}
+
+SignClusterResult sign_cluster_filter_from_stats(
+    std::span<const SignStats> stats, std::span<const double> similarity,
+    const SignClusterConfig& cfg, Rng& rng) {
+  SignClusterResult result;
+  const std::size_t n = stats.size();
+  if (n == 0) return result;
+  const bool has_similarity = cfg.similarity != SimilarityFeature::kNone;
+  assert(!has_similarity || similarity.size() == n);
+
   // Feature rows live in their own small flat matrix (n x 3 or n x 4)
   // that the clusterers consume as row spans; the legacy per-row vectors
   // are kept on the result for diagnostics and tests.
@@ -110,9 +126,9 @@ SignClusterResult sign_cluster_filter(const common::GradientMatrix& grads,
   common::GradientMatrix features(n, feat_dim);
   for (std::size_t i = 0; i < n; ++i) {
     const auto f = features.row(i);
-    f[0] = static_cast<float>(stats_rows[i].pos);
-    f[1] = static_cast<float>(stats_rows[i].zero);
-    f[2] = static_cast<float>(stats_rows[i].neg);
+    f[0] = static_cast<float>(stats[i].pos);
+    f[1] = static_cast<float>(stats[i].zero);
+    f[2] = static_cast<float>(stats[i].neg);
     if (has_similarity) f[3] = static_cast<float>(similarity[i]);
   }
   result.features = features.to_vectors();
@@ -140,14 +156,19 @@ SignClusterResult sign_cluster_filter(
 
 std::vector<float> clipped_mean(const common::GradientMatrix& grads,
                                 std::span<const std::size_t> selected,
-                                double bound, bool clip) {
+                                double bound, bool clip,
+                                std::span<const double> row_norms) {
   assert(!selected.empty());
-  // Per-row clip weights from one threaded norm pass, then one
-  // coordinate-parallel weighted accumulation.
+  assert(row_norms.empty() || row_norms.size() == grads.rows());
+  // Per-row clip weights — from the caller's precomputed norms when it
+  // has them (the norm filter's pass), else one threaded norm pass —
+  // then one coordinate-parallel weighted accumulation.
   std::vector<double> weights(selected.size(), 1.0);
   if (clip && bound > 0.0) {
     common::parallel_for(selected.size(), [&](std::size_t k) {
-      const double nrm = vec::norm(grads.row(selected[k]));
+      const double nrm = row_norms.empty()
+                             ? vec::norm(grads.row(selected[k]))
+                             : row_norms[selected[k]];
       if (nrm > bound) weights[k] = bound / nrm;
     });
   }

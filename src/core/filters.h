@@ -14,6 +14,7 @@
 
 #include "cluster/meanshift.h"
 #include "common/gradient_matrix.h"
+#include "common/gradient_stats.h"  // SignStats
 #include "common/rng.h"
 
 namespace signguard::core {
@@ -35,6 +36,14 @@ NormFilterResult norm_filter(const common::GradientMatrix& grads,
                              const NormFilterConfig& cfg);
 NormFilterResult norm_filter(std::span<const std::vector<float>> grads,
                              const NormFilterConfig& cfg);
+
+// Statistics-input entry point: the same filter given precomputed
+// per-gradient norms (the matrix overloads delegate here after one
+// vec::row_norms pass). This is what the compressed-domain wire path
+// feeds with comm::wire_row_norms — bitwise-identical norms in, so
+// bitwise-identical admission decisions out.
+NormFilterResult norm_filter_from_norms(std::vector<double> norms,
+                                        const NormFilterConfig& cfg);
 
 // ---- Step 2: sign-based clustering -----------------------------------------
 
@@ -69,14 +78,32 @@ SignClusterResult sign_cluster_filter(
     std::span<const std::vector<float>> grads, std::span<const float> reference,
     double median_norm, const SignClusterConfig& cfg, Rng& rng);
 
+// Statistics-input entry point: clustering on precomputed per-client
+// sign statistics (plus the similarity feature when cfg.similarity is
+// not kNone — `similarity` must then hold one value per client; it is
+// ignored otherwise). The matrix overload delegates here after its
+// fused sign_statistics pass; the wire path feeds it from
+// comm::wire_sign_stats. Consumes the Rng exactly like the matrix
+// overload's clustering stage (only kKMeans2 draws), so the two paths
+// stay stream-aligned.
+SignClusterResult sign_cluster_filter_from_stats(
+    std::span<const SignStats> stats, std::span<const double> similarity,
+    const SignClusterConfig& cfg, Rng& rng);
+
 // ---- Step 3: aggregation ----------------------------------------------------
 
 // Mean over the selected gradients with per-gradient norm clipping:
 //   (1/|S|) * sum_{i in S} g_i * min(1, bound/||g_i||)       (Algorithm 2,
 // line 14). With clip == false it degrades to the plain subset mean.
+// `row_norms`, when non-empty, supplies ||g_i|| indexed by GLOBAL row
+// (one entry per matrix row, not per selected index) and skips the
+// per-row norm recomputation — the norm filter already paid for it.
+// vec::norm(row) and a row_norms entry are the same accumulation chain,
+// so passing them is a bitwise no-op.
 std::vector<float> clipped_mean(const common::GradientMatrix& grads,
                                 std::span<const std::size_t> selected,
-                                double bound, bool clip = true);
+                                double bound, bool clip = true,
+                                std::span<const double> row_norms = {});
 std::vector<float> clipped_mean(std::span<const std::vector<float>> grads,
                                 std::span<const std::size_t> selected,
                                 double bound, bool clip = true);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace signguard::core {
 
 SignGuard::SignGuard(SignGuardConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
@@ -65,9 +67,80 @@ std::vector<float> SignGuard::aggregate(const common::GradientMatrix& grads,
   // training without any robustness benefit.
   if (selected_.empty()) selected_ = !s1.empty() ? s1 : all;
 
+  // The norm filter already paid for every row norm; reusing them here is
+  // bitwise-identical to recomputing (same accumulation chain).
   std::vector<float> agg =
       clipped_mean(grads, selected_, last_norm_.median_norm,
-                   cfg_.enable_norm_clipping);
+                   cfg_.enable_norm_clipping, last_norm_.norms);
+  prev_aggregate_ = agg;
+  return agg;
+}
+
+std::vector<float> SignGuard::aggregate_wire(const comm::WireRound& wire,
+                                             const agg::GarContext&) {
+  assert(wire.codec != nullptr && !wire.uplinks.empty());
+  assert(supports_wire_path());
+  const std::size_t n = wire.uplinks.size();
+  const std::size_t d = wire.d;
+  last_decoded_bytes_ = 0;
+
+  // Step 1: norm-based thresholding on norms derived from wire bytes
+  // (bitwise equal to vec::row_norms of the decoded matrix).
+  last_norm_ = norm_filter_from_norms(comm::wire_row_norms(wire), cfg_.norm);
+
+  std::vector<std::size_t> all;
+  all.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::isfinite(last_norm_.norms[i])) all.push_back(i);
+  if (all.empty()) {
+    // No trustworthy gradient this round; emit a zero update. (Mirrors
+    // aggregate(): in particular no coordinate sample is drawn, keeping
+    // the Rng streams of the two backends aligned.)
+    selected_.clear();
+    last_cluster_ = SignClusterResult{};
+    prev_aggregate_.assign(d, 0.0f);
+    return prev_aggregate_;
+  }
+
+  const std::vector<std::size_t>& s1 =
+      cfg_.enable_norm_filter ? last_norm_.accepted : all;
+
+  // Step 2: sign-based clustering on popcount/code-derived sign
+  // statistics — the same coordinate sample (same Rng draw), bitwise the
+  // same proportions, hence the same clusters.
+  std::vector<std::size_t> s2 = all;
+  if (cfg_.enable_sign_cluster) {
+    const auto coords = select_coordinates(d, cfg_.cluster.coord_frac, rng_);
+    const comm::CoordMask mask(d, wire.codec->chunk(), coords);
+    const auto stats = comm::wire_sign_stats(wire, mask);
+    last_cluster_ = sign_cluster_filter_from_stats(stats, {}, cfg_.cluster,
+                                                   rng_);
+    s2 = last_cluster_.accepted;
+  } else {
+    last_cluster_ = SignClusterResult{};
+  }
+
+  // Step 3: trusted set, then lazy decode — only survivors are ever
+  // materialized as f32, compacted into the reusable scratch matrix.
+  selected_ = intersect_indices(s1, s2);
+  if (selected_.empty()) selected_ = !s1.empty() ? s1 : all;
+
+  wire_survivors_.resize(selected_.size(), d);
+  survivor_norms_.resize(selected_.size());
+  common::parallel_for(selected_.size(), [&](std::size_t k) {
+    const comm::DecodeStatus st = comm::decode_into(
+        *wire.codec, wire.uplinks[selected_[k]], wire_survivors_.row(k));
+    assert(st == comm::DecodeStatus::kOk);  // caller validated every buffer
+    (void)st;
+    survivor_norms_[k] = last_norm_.norms[selected_[k]];
+  });
+  last_decoded_bytes_ = std::uint64_t(selected_.size()) * d * 4;
+
+  survivor_ids_.resize(selected_.size());
+  std::iota(survivor_ids_.begin(), survivor_ids_.end(), std::size_t{0});
+  std::vector<float> agg =
+      clipped_mean(wire_survivors_, survivor_ids_, last_norm_.median_norm,
+                   cfg_.enable_norm_clipping, survivor_norms_);
   prev_aggregate_ = agg;
   return agg;
 }
@@ -77,6 +150,7 @@ void SignGuard::reset() {
   selected_.clear();
   last_norm_ = NormFilterResult{};
   last_cluster_ = SignClusterResult{};
+  last_decoded_bytes_ = 0;
 }
 
 SignGuardConfig plain_config(std::uint64_t seed) {

@@ -42,6 +42,11 @@ struct TrainingResult {
   std::uint64_t uplink_bytes = 0;
   std::uint64_t uplink_dense_bytes = 0;
   std::size_t decode_rejects = 0;
+  // Dense bytes the server-side aggregation pipeline materialized from
+  // accepted uplinks: every accepted uplink's 4d on the decode path,
+  // only the trusted set's on the compressed-domain SignGuard path
+  // (SIGNGUARD_WIREPATH) — the whole point of filtering on wire bytes.
+  std::uint64_t uplink_decoded_bytes = 0;
 };
 
 // Definition 3: attack impact = baseline accuracy - achieved accuracy.

@@ -28,4 +28,12 @@ const std::vector<float>& Server::step(
   return last_aggregate_;
 }
 
+const std::vector<float>& Server::apply_aggregate(
+    std::vector<float> aggregate) {
+  last_aggregate_ = std::move(aggregate);
+  assert(last_aggregate_.size() == params_.size());
+  optimizer_.step(params_, last_aggregate_);
+  return last_aggregate_;
+}
+
 }  // namespace signguard::fl

@@ -27,6 +27,12 @@ class Server {
   const std::vector<float>& step(std::span<const std::vector<float>> grads,
                                  const agg::GarContext& ctx);
 
+  // Applies an aggregate the caller computed through a non-matrix GAR
+  // entry point (the trainer's compressed-domain SignGuard path calls
+  // aggregate_wire itself): identical optimizer update to step(), with
+  // the provided aggregate.
+  const std::vector<float>& apply_aggregate(std::vector<float> aggregate);
+
   std::span<const float> parameters() const { return params_; }
   agg::Aggregator& gar() { return *gar_; }
   void set_lr(double lr) { optimizer_.set_lr(lr); }

@@ -216,6 +216,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
     r.uplink_bytes = res.uplink_bytes;
     r.uplink_dense_bytes = res.uplink_dense_bytes;
     r.decode_rejects = res.decode_rejects;
+    r.uplink_decoded_bytes = res.uplink_decoded_bytes;
     if (res.uplink_bytes > 0)
       r.compression_ratio = static_cast<float>(
           double(res.uplink_dense_bytes) / double(res.uplink_bytes));
@@ -348,6 +349,8 @@ void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
     line += ",\"uplink_dense_bytes\":" + std::to_string(r.uplink_dense_bytes);
     line += ",\"compression_ratio\":" + common::fmt_float(r.compression_ratio);
     line += ",\"decode_rejects\":" + std::to_string(r.decode_rejects);
+    line += ",\"uplink_decoded_bytes\":" +
+            std::to_string(r.uplink_decoded_bytes);
   }
   line += ",\"trace_checksum\":" + json_hex(r.trace_checksum);
   if (!r.rounds.empty()) {

@@ -136,6 +136,11 @@ struct ScenarioResult {
   std::uint64_t uplink_dense_bytes = 0;
   std::size_t decode_rejects = 0;
   float compression_ratio = 0.0f;
+  // Dense bytes the server's aggregation pipeline actually materialized
+  // from accepted uplinks (see RoundObservation::uplink_decoded_bytes):
+  // the field the SIGNGUARD_WIREPATH=wire backend drives down. Expected
+  // to differ across backends; the CI wire/decode diff strips it.
+  std::uint64_t uplink_decoded_bytes = 0;
   std::vector<RoundTrace> rounds;     // empty unless capture_rounds
 
   // Non-deterministic timing; excluded from JSONL unless include_timing.

@@ -7,9 +7,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "comm/stats.h"
 #include "comm/wire.h"
 #include "common/gradient_matrix.h"
 #include "common/parallel.h"
+#include "core/signguard.h"
 #include "fl/client.h"
 #include "fl/server.h"
 
@@ -120,12 +122,31 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     rejected.reserve(n);
     wire_bytes = comm::encoded_size(*codec, dim);
   }
+  // Compressed-domain SignGuard (SIGNGUARD_WIREPATH=wire, the default):
+  // when the GAR is a plain SignGuard and a real codec is active, the
+  // server never decodes the Byzantine uplinks up front — it validates
+  // them, runs the filters on statistics computed from the wire bytes,
+  // and decodes only the trusted set. Benign rows are still decoded in
+  // place first: the attacker observes the post-codec view of honest
+  // gradients on either backend (a simulation requirement, and on the
+  // decode backend that same decode doubles as the server's).
+  // Admission decisions and the aggregate are bitwise identical across
+  // the two backends; only the decoded-bytes accounting differs.
+  auto* const sg = dynamic_cast<core::SignGuard*>(&server.gar());
+  const bool wire_filtering =
+      transport_on && cfg_.compression.codec != comm::CodecKind::kNone &&
+      sg != nullptr && sg->supports_wire_path() &&
+      comm::wire_path() == comm::WirePath::kWire;
   // Encodes round_grads rows [begin_row, end_row) through the wire —
-  // encode, optional tamper, decode back in place — marking rejects.
-  // client_of maps a row to its global client id (for the hook). Rows
-  // are independent, so the fan-out is bitwise thread-invariant.
+  // encode, optional tamper, then either decode back in place
+  // (decode_rows) or validate the buffer without touching the row (the
+  // wire path's Byzantine uplinks) — marking rejects either way.
+  // validate() accepts exactly the buffers decode_into accepts, so the
+  // reject set is backend-independent. client_of maps a row to its
+  // global client id (for the hook). Rows are independent, so the
+  // fan-out is bitwise thread-invariant.
   const auto transport_rows = [&](std::size_t begin_row, std::size_t end_row,
-                                  auto client_of) {
+                                  bool decode_rows, auto client_of) {
     if (enc_scratch.size() < common::thread_count())
       enc_scratch.resize(common::thread_count());
     common::parallel_chunks(
@@ -136,9 +157,11 @@ TrainingResult Trainer::run(attacks::Attack& attack,
             comm::encode_into(*codec, round_grads.row(t), buf,
                               enc_scratch[worker]);
             if (cfg_.uplink_tamper) cfg_.uplink_tamper(client_of(t), buf);
-            if (comm::decode_into(*codec, buf, round_grads.row(t)) !=
-                comm::DecodeStatus::kOk)
-              rejected[t] = 1;
+            const comm::DecodeStatus st =
+                decode_rows ? comm::decode_into(*codec, buf,
+                                                round_grads.row(t))
+                            : comm::validate(*codec, buf, dim);
+            if (st != comm::DecodeStatus::kOk) rejected[t] = 1;
           }
         });
   };
@@ -259,9 +282,8 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     std::size_t benign_rejects = 0;
     if (transport_on) {
       rejected.assign(n_round, 0);
-      transport_rows(m_round, n_round, [&](std::size_t t) {
-        return benign_sel[t - m_round];
-      });
+      transport_rows(m_round, n_round, /*decode_rows=*/true,
+                     [&](std::size_t t) { return benign_sel[t - m_round]; });
       for (std::size_t t = m_round; t < n_round; ++t)
         benign_rejects += rejected[t] != 0;
       if (benign_rejects == n_round - m_round) {
@@ -335,13 +357,19 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     std::size_t m_eff = m_round, n_eff = n_round;
     std::size_t round_rejects = benign_rejects;
     if (transport_on) {
-      transport_rows(0, m_round, [&](std::size_t t) { return byz_sel[t]; });
+      // On the wire path the crafted rows are validated, never decoded:
+      // their floats stay wire-side until (and unless) SignGuard admits
+      // them below.
+      transport_rows(0, m_round, /*decode_rows=*/!wire_filtering,
+                     [&](std::size_t t) { return byz_sel[t]; });
       for (std::size_t t = 0; t < m_round; ++t)
         round_rejects += rejected[t] != 0;
       if (round_rejects > 0) {
         // Compact the surviving rows into a prefix (Byzantine rows stay
         // in front, order preserved) so the aggregator sees a dense
-        // matrix of exactly the updates that decoded.
+        // matrix of exactly the updates that decoded — and their uplink
+        // buffers move with them, so buffer t keeps describing row t for
+        // the wire path.
         std::size_t w = 0;
         m_eff = 0;
         for (std::size_t t = 0; t < n_round; ++t) {
@@ -350,6 +378,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
           if (w != t) {
             const auto src = round_grads.row(t);
             std::copy(src.begin(), src.end(), round_grads.row(w).begin());
+            std::swap(uplink[w], uplink[t]);
           }
           ++w;
         }
@@ -362,7 +391,24 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     gctx.assumed_byzantine = m_eff;
     gctx.round = round;
     gctx.rng = &gar_rng;
-    const std::vector<float>& aggregate = server.step(round_grads, gctx);
+    // Dense bytes the aggregation pipeline materialized from accepted
+    // uplinks: all of them on the decode path, only the trusted set's on
+    // the wire path.
+    std::uint64_t decoded_bytes = 0;
+    const std::vector<float>* agg_ptr = nullptr;
+    if (wire_filtering) {
+      comm::WireRound wr;
+      wr.codec = codec.get();
+      wr.uplinks = std::span<const std::vector<std::uint8_t>>(
+          uplink.data(), n_eff);
+      wr.d = dim;
+      agg_ptr = &server.apply_aggregate(sg->aggregate_wire(wr, gctx));
+      decoded_bytes = sg->last_decoded_bytes();
+    } else {
+      agg_ptr = &server.step(round_grads, gctx);
+      if (transport_on) decoded_bytes = std::uint64_t(n_eff) * dim * 4;
+    }
+    const std::vector<float>& aggregate = *agg_ptr;
 
     // Selection accounting (only meaningful for selecting rules).
     const auto selected = server.gar().last_selected();
@@ -383,9 +429,11 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       obs.decode_rejects = round_rejects;
       obs.uplink_bytes = n_round * wire_bytes;
       obs.uplink_dense_bytes = std::uint64_t(n_round) * dim * 4;
+      obs.uplink_decoded_bytes = decoded_bytes;
       result.uplink_bytes += obs.uplink_bytes;
       result.uplink_dense_bytes += obs.uplink_dense_bytes;
       result.decode_rejects += round_rejects;
+      result.uplink_decoded_bytes += decoded_bytes;
     }
     if ((round + 1) % cfg_.eval_every == 0 || round + 1 == cfg_.rounds) {
       model.set_parameters(server.parameters());

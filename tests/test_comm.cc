@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -18,11 +19,15 @@
 #include <vector>
 
 #include "comm/codec.h"
+#include "comm/stats.h"
 #include "comm/wire.h"
 #include "common/format.h"
+#include "common/gradient_matrix.h"
+#include "common/gradient_stats.h"
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/vecops.h"
 #include "data/synth_image.h"
 #include "fl/experiment.h"
 #include "fl/sweep.h"
@@ -401,6 +406,150 @@ TEST(CommWire, AdversarialCodecPayloads) {
   }
 }
 
+// ---- compressed-domain statistics ------------------------------------------
+
+struct WirePathGuard {
+  comm::WirePath saved = comm::wire_path();
+  ~WirePathGuard() { comm::set_wire_path(saved); }
+};
+
+// validate() stands in for decode_into() as the wire path's reject
+// screen, so the two must agree on *every* input — kOk or the identical
+// typed rejection. Fuzz the agreement over truncations and single-byte
+// corruptions, both raw and re-checksummed (the internally consistent
+// form only a Byzantine client, which controls its own bytes, can ship).
+TEST(CommWire, ValidateAgreesWithDecodeOnAdversarialCorpus) {
+  Rng rng(41);
+  const CompressionSpec specs[] = {
+      spec_of(CodecKind::kNone, 64), spec_of(CodecKind::kSign1, 64),
+      spec_of(CodecKind::kInt8, 64), spec_of(CodecKind::kTopK, 32, 0.25)};
+  const std::size_t d = 200;
+  for (const auto& spec : specs) {
+    const auto codec = comm::make_codec(spec);
+    const auto agree = [&](const std::vector<std::uint8_t>& buf) {
+      const DecodeStatus dec = decode_status(*codec, buf, d);
+      EXPECT_EQ(comm::validate(*codec, buf, d), dec)
+          << codec->name() << " size=" << buf.size();
+      return dec;
+    };
+    for (int regime = 0; regime < 5; ++regime)
+      EXPECT_EQ(agree(encode(*codec, make_row(d, regime, rng))),
+                DecodeStatus::kOk);
+    const auto good = encode(*codec, make_row(d, 0, rng));
+    for (std::size_t cut = 0; cut < good.size();
+         cut += (cut < comm::kWireHeaderSize + 8 ? 1 : 5))
+      agree(std::vector<std::uint8_t>(good.begin(), good.begin() + cut));
+    for (std::size_t pos = 0; pos < good.size(); ++pos) {
+      auto flipped = good;
+      flipped[pos] ^= 0x80;
+      agree(flipped);  // mostly header / checksum rejections
+      if (pos >= comm::kWireHeaderSize) {
+        fix_checksum(flipped);  // now the payload corruption itself decides
+        agree(flipped);
+      }
+    }
+    auto trailing = good;
+    trailing.push_back(0xab);
+    fix_checksum(trailing);
+    EXPECT_EQ(agree(trailing), DecodeStatus::kTrailingBytes);
+  }
+}
+
+// The statistics contract that makes SIGNGUARD_WIREPATH a pure
+// performance switch: for every accepted buffer, wire_row_norms equals
+// vec::row_norms of the decoded matrix and wire_sign_stats equals
+// sign_statistics over the same coordinate subset — bit for bit, across
+// codecs, odd-d tail chunks and the degenerate row regimes (all-zero,
+// constant, alternating, denormal).
+TEST(CommStats, WireNormsAndSignStatsMatchDecodedBitwise) {
+  Rng rng(43);
+  for (const auto kind : kAllKinds) {
+    for (const std::size_t chunk : {std::size_t{64}, std::size_t{4096}}) {
+      for (const std::size_t d :
+           {std::size_t{1}, std::size_t{7}, std::size_t{777},
+            std::size_t{4096}, std::size_t{4097}}) {
+        const auto codec = comm::make_codec(spec_of(kind, chunk, 0.2));
+        std::vector<std::vector<std::uint8_t>> uplinks(5);
+        common::GradientMatrix decoded(5, d);
+        for (int regime = 0; regime < 5; ++regime) {
+          uplinks[regime] = encode(*codec, make_row(d, regime, rng));
+          ASSERT_EQ(comm::validate(*codec, uplinks[regime], d),
+                    DecodeStatus::kOk);
+          ASSERT_EQ(
+              comm::decode_into(*codec, uplinks[regime], decoded.row(regime)),
+              DecodeStatus::kOk);
+        }
+        const comm::WireRound wire{codec.get(), uplinks, d};
+
+        const auto wire_norms = comm::wire_row_norms(wire);
+        const auto dec_norms = vec::row_norms(decoded);
+        ASSERT_EQ(wire_norms.size(), dec_norms.size());
+        for (std::size_t i = 0; i < wire_norms.size(); ++i)
+          ASSERT_EQ(std::bit_cast<std::uint64_t>(wire_norms[i]),
+                    std::bit_cast<std::uint64_t>(dec_norms[i]))
+              << codec->name() << " d=" << d << " chunk=" << chunk
+              << " row=" << i;
+
+        for (const double frac : {0.3, 1.0}) {
+          Rng crng(d * 31 + std::size_t(kind));
+          const auto coords = select_coordinates(d, frac, crng);
+          const comm::CoordMask mask(d, chunk, coords);
+          ASSERT_EQ(mask.n_coords(), coords.size());
+          const auto ws = comm::wire_sign_stats(wire, mask);
+          const auto ds = sign_statistics(decoded, coords);
+          ASSERT_EQ(ws.size(), ds.size());
+          for (std::size_t i = 0; i < ws.size(); ++i) {
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(ws[i].pos),
+                      std::bit_cast<std::uint64_t>(ds[i].pos))
+                << codec->name() << " d=" << d << " frac=" << frac
+                << " row=" << i;
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(ws[i].zero),
+                      std::bit_cast<std::uint64_t>(ds[i].zero));
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(ws[i].neg),
+                      std::bit_cast<std::uint64_t>(ds[i].neg));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CommStats, StatisticsPassIsThreadInvariant) {
+  ThreadCountGuard guard;
+  Rng rng(47);
+  const std::size_t d = 30000;
+  for (const auto kind : {CodecKind::kSign1, CodecKind::kInt8}) {
+    const auto codec = comm::make_codec(spec_of(kind, 1024));
+    std::vector<std::vector<std::uint8_t>> uplinks;
+    for (int i = 0; i < 6; ++i)
+      uplinks.push_back(encode(*codec, make_row(d, i % 5, rng)));
+    const comm::WireRound wire{codec.get(), uplinks, d};
+    Rng crng(3);
+    const auto coords = select_coordinates(d, 0.1, crng);
+    const comm::CoordMask mask(d, 1024, coords);
+
+    common::set_thread_count(1);
+    const auto n1 = comm::wire_row_norms(wire);
+    const auto s1 = comm::wire_sign_stats(wire, mask);
+    common::set_thread_count(4);
+    const auto n4 = comm::wire_row_norms(wire);
+    const auto s4 = comm::wire_sign_stats(wire, mask);
+
+    ASSERT_EQ(n1.size(), n4.size());
+    for (std::size_t i = 0; i < n1.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(n1[i]),
+                std::bit_cast<std::uint64_t>(n4[i]))
+          << codec->name() << " row=" << i;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(s1[i].pos),
+                std::bit_cast<std::uint64_t>(s4[i].pos));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(s1[i].zero),
+                std::bit_cast<std::uint64_t>(s4[i].zero));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(s1[i].neg),
+                std::bit_cast<std::uint64_t>(s4[i].neg));
+    }
+  }
+}
+
 // ---- trainer integration ---------------------------------------------------
 
 data::TrainTest comm_data() {
@@ -540,6 +689,97 @@ TEST(CommTrainer, DegenerateCompressionSpecThrowsAtConstruction) {
   EXPECT_THROW(fl::Trainer(data, comm_model(), cfg), std::invalid_argument);
 }
 
+// The tentpole contract, end to end: a full SignFlip × SignGuard training
+// run under the compressed-domain backend is bit-identical — per-round
+// aggregates, accuracy, admission statistics — to the decode-everything
+// reference, for every codec and thread count, while materializing
+// strictly fewer dense bytes on the server.
+TEST(CommTrainer, WirePathMatchesDecodePathBitwise) {
+  const auto data = comm_data();
+  WirePathGuard wp_guard;
+  ThreadCountGuard tc_guard;
+  for (const auto kind :
+       {CodecKind::kSign1, CodecKind::kInt8, CodecKind::kTopK}) {
+    fl::TrainerConfig cfg = comm_config();
+    cfg.compression = spec_of(kind, 256, 0.1);
+    std::vector<std::uint64_t> first_trace;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      common::set_thread_count(threads);
+      comm::set_wire_path(comm::WirePath::kWire);
+      fl::TrainingResult r_wire;
+      const auto t_wire = run_trace(data, cfg, &r_wire);
+      comm::set_wire_path(comm::WirePath::kDecode);
+      fl::TrainingResult r_decode;
+      const auto t_decode = run_trace(data, cfg, &r_decode);
+
+      const char* name = comm::codec_name(kind);
+      EXPECT_EQ(t_wire, t_decode) << name << " threads=" << threads;
+      EXPECT_EQ(r_wire.final_accuracy, r_decode.final_accuracy) << name;
+      EXPECT_EQ(r_wire.selection.honest_rate, r_decode.selection.honest_rate)
+          << name;
+      EXPECT_EQ(r_wire.selection.malicious_rate,
+                r_decode.selection.malicious_rate)
+          << name;
+      // Same wire traffic in, far fewer dense bytes out of the decoder:
+      // SignGuard rejects the SignFlip rows before they are ever floats.
+      EXPECT_EQ(r_wire.uplink_bytes, r_decode.uplink_bytes) << name;
+      EXPECT_GT(r_wire.uplink_decoded_bytes, 0u) << name;
+      EXPECT_LT(r_wire.uplink_decoded_bytes, r_decode.uplink_decoded_bytes)
+          << name;
+      // And the wire backend is thread-count invariant on its own.
+      if (first_trace.empty())
+        first_trace = t_wire;
+      else
+        EXPECT_EQ(t_wire, first_trace) << name;
+    }
+  }
+}
+
+TEST(CommTrainer, WirePathBillsOnlyTheTrustedSetsBytes) {
+  const auto data = comm_data();
+  WirePathGuard wp_guard;
+  fl::TrainerConfig cfg = comm_config();
+  cfg.compression = spec_of(CodecKind::kSign1);
+  for (const bool wire : {true, false}) {
+    comm::set_wire_path(wire ? comm::WirePath::kWire
+                             : comm::WirePath::kDecode);
+    fl::Trainer trainer(data, comm_model(), cfg);
+    auto attack = fl::make_attack("SignFlip");
+    std::uint64_t billed = 0;
+    const auto result = trainer.run(
+        *attack, fl::make_aggregator("SignGuard"),
+        [&](const fl::RoundObservation& obs) {
+          ASSERT_FALSE(obs.skipped);
+          const std::uint64_t rows =
+              wire ? obs.selected.size() : obs.participants;
+          EXPECT_EQ(obs.uplink_decoded_bytes,
+                    rows * std::uint64_t(obs.aggregate.size()) * 4);
+          EXPECT_LE(obs.selected.size(), obs.participants);
+          billed += obs.uplink_decoded_bytes;
+        });
+    EXPECT_EQ(result.uplink_decoded_bytes, billed);
+    EXPECT_GT(result.uplink_decoded_bytes, 0u);
+  }
+}
+
+TEST(CommTrainer, NonSignGuardGarsStayOnTheDecodePath) {
+  // Mean has no filtering stage to run on wire statistics; under the wire
+  // backend it still decodes (and bills) every accepted uplink.
+  const auto data = comm_data();
+  WirePathGuard wp_guard;
+  comm::set_wire_path(comm::WirePath::kWire);
+  fl::TrainerConfig cfg = comm_config();
+  cfg.compression = spec_of(CodecKind::kSign1);
+  fl::Trainer trainer(data, comm_model(), cfg);
+  auto attack = fl::make_attack("NoAttack");
+  trainer.run(*attack, fl::make_aggregator("Mean"),
+              [&](const fl::RoundObservation& obs) {
+                EXPECT_EQ(obs.uplink_decoded_bytes,
+                          std::uint64_t(obs.participants) *
+                              obs.aggregate.size() * 4);
+              });
+}
+
 // ---- sweep integration -----------------------------------------------------
 
 fl::ScenarioSpec sweep_cell(const std::string& codec) {
@@ -571,6 +811,8 @@ TEST(CommSweep, CompressionAxisFlowsIntoJsonl) {
   EXPECT_EQ(dense.uplink_bytes, 0u);
   EXPECT_GT(compressed.uplink_bytes, 0u);
   EXPECT_GE(compressed.compression_ratio, 16.0f);
+  EXPECT_EQ(dense.uplink_decoded_bytes, 0u);
+  EXPECT_GT(compressed.uplink_decoded_bytes, 0u);
 
   // SignGuard's sign statistics survive sign1 exactly: honest admission
   // is unchanged against the uncompressed run, and compression never
@@ -587,6 +829,9 @@ TEST(CommSweep, CompressionAxisFlowsIntoJsonl) {
     const auto pos = line.find("\"compression_ratio\":");
     if (pos == std::string::npos) {
       EXPECT_NE(line.find("/g=SignGuard/part=iid"), std::string::npos);
+      // The decoded-bytes field rides only on codec lines: "none" lines
+      // keep their golden byte-for-byte shape.
+      EXPECT_EQ(line.find("uplink_decoded_bytes"), std::string::npos);
       continue;
     }
     ++with_fields;
@@ -602,6 +847,9 @@ TEST(CommSweep, CompressionAxisFlowsIntoJsonl) {
                         std::to_string(compressed.uplink_dense_bytes)),
               std::string::npos);
     EXPECT_NE(line.find("\"decode_rejects\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"uplink_decoded_bytes\":" +
+                        std::to_string(compressed.uplink_decoded_bytes)),
+              std::string::npos);
   }
   EXPECT_EQ(with_fields, 1u);
 }

@@ -7,12 +7,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
 
 #include "attacks/byzmean.h"
 #include "attacks/lie.h"
 #include "attacks/minmax_minsum.h"
 #include "attacks/simple_attacks.h"
+#include "comm/codec.h"
+#include "comm/stats.h"
+#include "comm/wire.h"
+#include "common/gradient_matrix.h"
 #include "common/gradient_stats.h"
+#include "common/hash.h"
+#include "common/parallel.h"
 #include "common/vecops.h"
 #include "core/filters.h"
 #include "core/signguard.h"
@@ -325,6 +334,171 @@ TEST(SignGuardAblation, AllDisabledIsPlainMean) {
   const auto mean = vec::mean_of(g);
   for (std::size_t j = 0; j < mean.size(); ++j)
     EXPECT_NEAR(out[j], mean[j], 1e-5);
+}
+
+// ------------------------------------------- compressed-domain wire path
+
+comm::CompressionSpec wire_spec(comm::CodecKind kind, std::size_t chunk,
+                                double k = 0.1) {
+  comm::CompressionSpec s;
+  s.codec = kind;
+  s.chunk = chunk;
+  s.k_fraction = k;
+  return s;
+}
+
+// A round of uplinks carrying every adversarial row shape the filters
+// care about: benign positive-mean gaussians, sign-flipped rows, a
+// huge-norm row, a denormal-tiny row, an all-zero row. `decoded` holds
+// exactly what the decode-everything reference path would see (for lossy
+// codecs that is NOT the original rows).
+struct WireFixture {
+  std::unique_ptr<comm::Codec> codec;
+  std::vector<std::vector<std::uint8_t>> uplinks;
+  common::GradientMatrix decoded;
+
+  comm::WireRound round() const {
+    return {codec.get(), uplinks, decoded.cols()};
+  }
+};
+
+WireFixture make_wire_round(const comm::CompressionSpec& spec, std::size_t d,
+                            std::uint64_t seed) {
+  WireFixture f;
+  f.codec = comm::make_codec(spec);
+  Rng rng(seed);
+  std::vector<std::vector<float>> rows;
+  for (std::size_t i = 0; i < 14; ++i)
+    rows.push_back(rng.normal_vector(d, 0.3, 0.8));
+  rows.push_back(vec::scaled(rows[0], -1.0));   // sign-flipped
+  rows.push_back(vec::scaled(rows[1], -1.0));
+  rows.push_back(vec::scaled(rows[2], 100.0));  // huge norm
+  std::vector<float> tiny(d);
+  for (auto& v : tiny) v = static_cast<float>(rng.normal()) * 1e-42f;
+  rows.push_back(tiny);                         // denormals
+  rows.push_back(std::vector<float>(d, 0.0f));  // all-zero
+  f.decoded.resize(rows.size(), d);
+  std::vector<comm::CodecScratch> scratch;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::uint8_t> buf;
+    comm::encode_into(*f.codec, rows[i], buf, scratch);
+    EXPECT_EQ(comm::validate(*f.codec, buf, d), comm::DecodeStatus::kOk);
+    EXPECT_EQ(comm::decode_into(*f.codec, buf, f.decoded.row(i)),
+              comm::DecodeStatus::kOk);
+    f.uplinks.push_back(std::move(buf));
+  }
+  return f;
+}
+
+// The backend contract: aggregate_wire on the wire bytes produces the
+// bitwise-identical trusted set and aggregate as aggregate() on the
+// decoded matrix — for every codec, both clusterers, any thread count,
+// and round over round (the Rng streams must stay aligned or the
+// backends diverge after the first call).
+TEST(SignGuardWire, MatchesDecodePathBitwise) {
+  struct ThreadGuard {
+    ~ThreadGuard() { common::set_thread_count(0); }
+  } guard;
+  const std::size_t d = 3001;  // chunk 256 -> 11 full chunks + tail 185
+  const comm::CompressionSpec specs[] = {
+      wire_spec(comm::CodecKind::kNone, 256),
+      wire_spec(comm::CodecKind::kSign1, 256),
+      wire_spec(comm::CodecKind::kInt8, 256),
+      wire_spec(comm::CodecKind::kTopK, 256, 0.1)};
+  for (const auto& spec : specs) {
+    const auto f = make_wire_round(spec, d, 97);
+    for (const auto clusterer : {Clusterer::kMeanShift, Clusterer::kKMeans2}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        common::set_thread_count(threads);
+        SignGuardConfig cfg = plain_config(33);
+        cfg.cluster.clusterer = clusterer;
+        SignGuard dec(cfg), wire(cfg);
+        for (int round = 0; round < 3; ++round) {
+          const auto a = dec.aggregate(f.decoded, gar_ctx());
+          const auto b = wire.aggregate_wire(f.round(), gar_ctx());
+          ASSERT_EQ(dec.last_selected(), wire.last_selected())
+              << f.codec->name() << " clusterer=" << int(clusterer)
+              << " threads=" << threads << " round=" << round;
+          ASSERT_EQ(a.size(), b.size());
+          ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * 4))
+              << f.codec->name() << " clusterer=" << int(clusterer)
+              << " threads=" << threads << " round=" << round;
+        }
+        // Lazy decode: only the survivors were materialized as floats
+        // (the huge-norm row, at least, never was).
+        EXPECT_EQ(wire.last_decoded_bytes(),
+                  std::uint64_t(wire.last_selected().size()) * d * 4);
+        EXPECT_LT(wire.last_selected().size(), f.decoded.rows());
+      }
+    }
+  }
+}
+
+TEST(SignGuardWire, AblationTogglesStayBitwiseEqual) {
+  const std::size_t d = 777;  // chunk 64 -> 12 full chunks + tail 9
+  const auto f =
+      make_wire_round(wire_spec(comm::CodecKind::kSign1, 64), d, 101);
+  for (int variant = 0; variant < 4; ++variant) {
+    SignGuardConfig cfg = plain_config(55);
+    if (variant == 0) cfg.enable_norm_filter = false;
+    if (variant == 1) cfg.enable_sign_cluster = false;
+    if (variant == 2) cfg.enable_norm_clipping = false;
+    if (variant == 3) {
+      cfg.enable_norm_filter = false;
+      cfg.enable_sign_cluster = false;
+      cfg.enable_norm_clipping = false;
+    }
+    SignGuard dec(cfg), wire(cfg);
+    const auto a = dec.aggregate(f.decoded, gar_ctx());
+    const auto b = wire.aggregate_wire(f.round(), gar_ctx());
+    EXPECT_EQ(dec.last_selected(), wire.last_selected()) << variant;
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * 4)) << variant;
+  }
+}
+
+TEST(SignGuardWire, SimVariantDeclinesTheWirePath) {
+  // The similarity feature needs decoded rows; the trainer checks
+  // supports_wire_path() and keeps Sim/Dist on the decode backend.
+  EXPECT_TRUE(SignGuard(plain_config()).supports_wire_path());
+  EXPECT_FALSE(SignGuard(sim_config()).supports_wire_path());
+  EXPECT_FALSE(SignGuard(dist_config()).supports_wire_path());
+}
+
+TEST(SignGuardWire, HostileBytesAreRefusedBeforeTheStatisticsPass) {
+  // aggregate_wire's precondition is comm::validate acceptance — the
+  // trainer screens every uplink first. A payload crafted to poison the
+  // statistics (negative sign1 scale, the int8 -128 sentinel) must be
+  // refused by validate even when its checksum is internally consistent.
+  Rng rng(7);
+  const std::size_t d = 100;
+  const auto fix = [](std::vector<std::uint8_t>& buf) {
+    const std::uint64_t sum =
+        common::fnv1a64(buf.data() + comm::kWireHeaderSize,
+                        buf.size() - comm::kWireHeaderSize);
+    for (int i = 0; i < 8; ++i)
+      buf[20 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+  };
+  std::vector<comm::CodecScratch> scratch;
+  {
+    const auto codec =
+        comm::make_codec(wire_spec(comm::CodecKind::kSign1, 64));
+    std::vector<std::uint8_t> buf;
+    comm::encode_into(*codec, rng.normal_vector(d, 0.3, 1.0), buf, scratch);
+    buf[comm::kWireHeaderSize + 4 + 3] |= 0x80;  // scale := -scale
+    fix(buf);
+    EXPECT_EQ(comm::validate(*codec, buf, d),
+              comm::DecodeStatus::kMalformedChunk);
+  }
+  {
+    const auto codec = comm::make_codec(wire_spec(comm::CodecKind::kInt8, 64));
+    std::vector<std::uint8_t> buf;
+    comm::encode_into(*codec, rng.normal_vector(d, 0.3, 1.0), buf, scratch);
+    buf[comm::kWireHeaderSize + 4 + 2] = 0x80;  // first code := -128
+    fix(buf);
+    EXPECT_EQ(comm::validate(*codec, buf, d),
+              comm::DecodeStatus::kMalformedChunk);
+  }
 }
 
 // --------------------------------------- parameterized attack rejection
