@@ -16,6 +16,7 @@
 //                [--dropout=0.0] [--straggler=0.0]
 //                [--codecs=none,sign1,int8,topk] [--codec-chunk=4096]
 //                [--codec-k=0.05]
+//                [--shards=1,8] [--shard-merge=wmean|momed]
 //                [--rounds=N] [--clients=N] [--seed=7]
 //                [--out=FILE] [--timing] [--no-round-checksums]
 //                [--summary] [--list]
@@ -96,6 +97,13 @@ int main(int argc, char** argv) {
       10);
   grid.codec_k = std::atof(
       bench::arg_value(argc, argv, "codec-k", "0.05").c_str());
+  // Sharding axis: an unknown merge name surfaces per scenario, like a
+  // codec typo.
+  grid.shard_counts.clear();
+  for (const auto& s :
+       bench::split_csv(bench::arg_value(argc, argv, "shards", "1")))
+    grid.shard_counts.push_back(std::strtoull(s.c_str(), nullptr, 10));
+  grid.shard_merge = bench::arg_value(argc, argv, "shard-merge", "wmean");
   grid.rounds = std::strtoull(
       bench::arg_value(argc, argv, "rounds", "0").c_str(), nullptr, 10);
   grid.n_clients = std::strtoull(

@@ -1,24 +1,27 @@
 #include "aggregators/aggregator.h"
 
-#include <cassert>
+#include <stdexcept>
 
 #include "aggregators/internal.h"
 
 namespace signguard::agg {
 
-// Shared precondition checks for the GAR implementations.
+// Shared precondition checks for the GAR implementations. Degenerate
+// shapes are caller errors that must surface as typed exceptions in
+// every build mode — an n = 0 round reaching a rule would otherwise hit
+// (n - 1) / 2 underflow and out-of-bounds row reads.
 void check_grads(std::span<const std::vector<float>> grads) {
-  assert(!grads.empty());
-#ifndef NDEBUG
-  for (const auto& g : grads) assert(g.size() == grads.front().size());
-#else
-  (void)grads;
-#endif
+  if (grads.empty())
+    throw std::invalid_argument("aggregate: empty gradient set");
+  for (const auto& g : grads)
+    if (g.size() != grads.front().size())
+      throw std::invalid_argument(
+          "aggregate: inconsistent gradient dimensions");
 }
 
 void check_grads(const common::GradientMatrix& grads) {
-  assert(!grads.empty());
-  (void)grads;
+  if (grads.empty())
+    throw std::invalid_argument("aggregate: empty gradient set");
 }
 
 std::vector<float> Aggregator::aggregate(

@@ -36,12 +36,14 @@ class Aggregator {
  public:
   virtual ~Aggregator() = default;
 
-  // Primary entry point. Preconditions: grads non-empty.
+  // Primary entry point. Throws std::invalid_argument on an empty
+  // gradient set (check_grads — typed in every build mode, never UB).
   virtual std::vector<float> aggregate(const common::GradientMatrix& grads,
                                        const GarContext& ctx) = 0;
 
   // Legacy adapter: copies the rows into a GradientMatrix and forwards.
-  // Preconditions: grads non-empty, all the same dimension.
+  // Throws std::invalid_argument when grads is empty or the rows have
+  // inconsistent dimensions.
   std::vector<float> aggregate(std::span<const std::vector<float>> grads,
                                const GarContext& ctx);
 

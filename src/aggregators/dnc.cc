@@ -20,6 +20,7 @@ namespace {
 std::vector<double> top_direction_projections(
     const std::vector<std::vector<double>>& rows, std::size_t power_iters,
     Rng& rng) {
+  if (rows.empty()) return {};
   const std::size_t n = rows.size();
   const std::size_t d = rows.front().size();
   std::vector<double> v(d);
@@ -69,14 +70,22 @@ std::vector<float> DnCAggregator::aggregate(
   std::vector<std::size_t> good(n);
   std::iota(good.begin(), good.end(), 0);
 
-  const std::size_t remove_per_iter = static_cast<std::size_t>(
-      std::round(cfg_.filter_frac * double(m)));
+  // filter_frac * m rounds to zero for small budgets (m = 1 at any
+  // filter_frac < 0.5), which used to pay every subsample + power-
+  // iteration pass while removing nobody; any positive Byzantine budget
+  // must drop at least one candidate per iteration.
+  const std::size_t remove_per_iter =
+      m == 0 ? 0
+             : std::max<std::size_t>(1, static_cast<std::size_t>(std::round(
+                                            cfg_.filter_frac * double(m))));
 
   for (std::size_t iter = 0; iter < cfg_.niters && m > 0; ++iter) {
     if (good.size() <= remove_per_iter + 1) break;
-    // Coordinate subsampling.
-    const std::size_t b = std::max<std::size_t>(
-        1, static_cast<std::size_t>(cfg_.subsample_frac * double(d)));
+    // Coordinate subsampling, clamped to d so a zero-dimensional round
+    // gathers nothing instead of indexing an empty coordinate sample.
+    const std::size_t b = std::min(
+        d, std::max<std::size_t>(
+               1, static_cast<std::size_t>(cfg_.subsample_frac * double(d))));
     const auto coords = ctx.rng->sample_without_replacement(d, b);
 
     // Build the centered sub-matrix over the current good set; the

@@ -1,6 +1,6 @@
 #include "attacks/time_varying.h"
 
-#include <cassert>
+#include <stdexcept>
 
 #include "attacks/byzmean.h"
 #include "attacks/lie.h"
@@ -35,7 +35,27 @@ TimeVaryingAttack::TimeVaryingAttack(
     : pool_(std::move(pool)),
       rounds_per_epoch_(rounds_per_epoch == 0 ? 1 : rounds_per_epoch),
       selector_(seed) {
-  assert(!pool_.empty());
+  // A typed error in every build mode: with an empty pool there is no
+  // sub-attack to delegate to, and the release-build dereference of
+  // pool_[0] was undefined behaviour.
+  if (pool_.empty())
+    throw std::invalid_argument(
+        "TimeVaryingAttack: attack pool must be non-empty");
+  for (const auto& a : pool_)
+    if (a == nullptr)
+      throw std::invalid_argument(
+          "TimeVaryingAttack: attack pool holds a null attack");
+}
+
+Attack& TimeVaryingAttack::active() const {
+  // Before the first begin_round no epoch has drawn a sub-attack;
+  // silently acting as pool_[0] hid protocol misuse, so the contract is
+  // now explicit: query order is begin_round first (attack.h).
+  if (current_epoch_ == SIZE_MAX)
+    throw std::logic_error(
+        "TimeVaryingAttack: begin_round must run before the attack is "
+        "queried");
+  return *pool_[current_idx_];
 }
 
 void TimeVaryingAttack::begin_round(std::size_t round, Rng& rng) {
@@ -47,17 +67,13 @@ void TimeVaryingAttack::begin_round(std::size_t round, Rng& rng) {
   pool_[current_idx_]->begin_round(round, rng);
 }
 
-bool TimeVaryingAttack::flips_labels() const {
-  return pool_[current_idx_]->flips_labels();
-}
+bool TimeVaryingAttack::flips_labels() const { return active().flips_labels(); }
 
 std::vector<std::vector<float>> TimeVaryingAttack::craft(
     const AttackContext& ctx) {
-  return pool_[current_idx_]->craft(ctx);
+  return active().craft(ctx);
 }
 
-std::string TimeVaryingAttack::current() const {
-  return pool_[current_idx_]->name();
-}
+std::string TimeVaryingAttack::current() const { return active().name(); }
 
 }  // namespace signguard::attacks

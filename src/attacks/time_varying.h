@@ -15,10 +15,16 @@ class TimeVaryingAttack : public Attack {
  public:
   // Default pool: NoAttack, Random, SignFlip, LIE, ByzMean, MinMax, MinSum.
   TimeVaryingAttack(std::size_t rounds_per_epoch, std::uint64_t seed);
+  // Throws std::invalid_argument when `pool` is empty or holds a null
+  // attack — there would be nothing to delegate to.
   TimeVaryingAttack(std::vector<std::unique_ptr<Attack>> pool,
                     std::size_t rounds_per_epoch, std::uint64_t seed);
 
   void begin_round(std::size_t round, Rng& rng) override;
+  // flips_labels/craft/current delegate to the epoch's sub-attack and
+  // throw std::logic_error before the first begin_round — the protocol
+  // in attack.h starts every round with begin_round, and anything
+  // earlier has no defined active attack.
   bool flips_labels() const override;
   std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
   std::string name() const override { return "TimeVarying"; }
@@ -27,6 +33,9 @@ class TimeVaryingAttack : public Attack {
   std::string current() const;
 
  private:
+  // The epoch's sub-attack; throws std::logic_error pre-begin_round.
+  Attack& active() const;
+
   std::vector<std::unique_ptr<Attack>> pool_;
   std::size_t rounds_per_epoch_;
   Rng selector_;

@@ -1,0 +1,45 @@
+#include "comm/shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/parallel.h"
+
+namespace signguard::comm {
+
+ShardDecode decode_shard_into(
+    const Codec& codec, std::span<const std::vector<std::uint8_t>> uplinks,
+    std::span<const std::size_t> ids, std::size_t d,
+    common::GradientMatrix& out) {
+  ShardDecode r;
+  r.status.assign(ids.size(), DecodeStatus::kOk);
+  out.resize(ids.size(), d);
+  common::parallel_for(ids.size(), [&](std::size_t i) {
+    assert(ids[i] < uplinks.size());
+    const auto row = out.row(i);
+    const DecodeStatus st = decode_into(codec, uplinks[ids[i]], row);
+    r.status[i] = st;
+    // decode_into leaves a rejected row unspecified; pin it to zero so
+    // a shard kernel that still touches it reads defined values.
+    if (st != DecodeStatus::kOk) std::fill(row.begin(), row.end(), 0.0f);
+  });
+  for (const DecodeStatus st : r.status)
+    if (st != DecodeStatus::kOk) ++r.rejected;
+  return r;
+}
+
+ShardDecode validate_shard(
+    const Codec& codec, std::span<const std::vector<std::uint8_t>> uplinks,
+    std::span<const std::size_t> ids, std::size_t d) {
+  ShardDecode r;
+  r.status.assign(ids.size(), DecodeStatus::kOk);
+  common::parallel_for(ids.size(), [&](std::size_t i) {
+    assert(ids[i] < uplinks.size());
+    r.status[i] = validate(codec, uplinks[ids[i]], d);
+  });
+  for (const DecodeStatus st : r.status)
+    if (st != DecodeStatus::kOk) ++r.rejected;
+  return r;
+}
+
+}  // namespace signguard::comm

@@ -1,0 +1,48 @@
+#pragma once
+// Per-shard decode routing for the hierarchical aggregation tree: a
+// shard aggregator receives the *ids* of its members and pulls exactly
+// those uplinks out of the round's wire buffers, decoding (or merely
+// validating, on the compressed-domain path) straight into a compacted
+// per-shard matrix. The flat n x d round matrix is never materialized —
+// at n = 65536 that buffer alone is what makes the flat path infeasible.
+//
+// Same trust model as comm/wire.h: every buffer is hostile until
+// validated, failures come back as per-member DecodeStatus values (no
+// exceptions on the decode path), and a rejected member's row is left
+// zeroed so downstream kernels never read unspecified floats. Rows fan
+// out over the pool into disjoint row ranges, so the decoded matrix is
+// bitwise identical for any SIGNGUARD_THREADS.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "comm/wire.h"
+#include "common/gradient_matrix.h"
+
+namespace signguard::comm {
+
+// Outcome of routing one shard's uplinks through the wire decoder:
+// one status per shard member, in member (id) order.
+struct ShardDecode {
+  std::size_t rejected = 0;
+  std::vector<DecodeStatus> status;
+};
+
+// Decodes uplinks[ids[i]] into row i of `out`, which is resized to
+// ids.size() x d (allocation reused across shards). A member whose
+// buffer fails validation keeps a zeroed row and its status records why.
+// Precondition: every id indexes into `uplinks`.
+ShardDecode decode_shard_into(
+    const Codec& codec, std::span<const std::vector<std::uint8_t>> uplinks,
+    std::span<const std::size_t> ids, std::size_t d,
+    common::GradientMatrix& out);
+
+// Validation-only variant for the wire path: the same statuses as
+// decode_shard_into (the wire contract: validate == decode on every
+// buffer) without materializing a single float.
+ShardDecode validate_shard(
+    const Codec& codec, std::span<const std::vector<std::uint8_t>> uplinks,
+    std::span<const std::size_t> ids, std::size_t d);
+
+}  // namespace signguard::comm

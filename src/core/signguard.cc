@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
+#include "aggregators/internal.h"
 #include "common/parallel.h"
 
 namespace signguard::core {
@@ -24,7 +26,7 @@ std::string SignGuard::name() const {
 
 std::vector<float> SignGuard::aggregate(const common::GradientMatrix& grads,
                                         const agg::GarContext&) {
-  assert(!grads.empty());
+  agg::check_grads(grads);
   const std::size_t n = grads.rows();
 
   // Step 1: norm-based thresholding (also computes the clipping bound M).
@@ -78,7 +80,8 @@ std::vector<float> SignGuard::aggregate(const common::GradientMatrix& grads,
 
 std::vector<float> SignGuard::aggregate_wire(const comm::WireRound& wire,
                                              const agg::GarContext&) {
-  assert(wire.codec != nullptr && !wire.uplinks.empty());
+  if (wire.codec == nullptr || wire.uplinks.empty())
+    throw std::invalid_argument("aggregate_wire: empty wire round");
   assert(supports_wire_path());
   const std::size_t n = wire.uplinks.size();
   const std::size_t d = wire.d;

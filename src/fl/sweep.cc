@@ -10,6 +10,7 @@
 #include <ostream>
 #include <utility>
 
+#include "aggregators/sharded.h"
 #include "comm/codec.h"
 #include "common/format.h"
 #include "common/hash.h"
@@ -86,6 +87,12 @@ std::string ScenarioSpec::id() const {
     s += "/codec=" + codec + "/ck=" + std::to_string(codec_chunk);
     if (codec == "topk") s += "/k=" + num(codec_k);
   }
+  // Same gating for the sharding segment: flat scenarios (shards <= 1)
+  // keep their pre-sharding ids and RNG streams.
+  if (shards > 1) {
+    s += "/shards=" + std::to_string(shards);
+    if (shard_merge != "wmean") s += "/smerge=" + shard_merge;
+  }
   s += "/r=" + std::to_string(rounds);
   s += "/n=" + std::to_string(n_clients);
   s += "/seed=" + std::to_string(seed);
@@ -101,7 +108,8 @@ std::uint64_t ScenarioSpec::rng_seed() const {
 std::size_t SweepGrid::size() const {
   return workloads.size() * attacks.size() * gars.size() * skews.size() *
          byzantine_fracs.size() * participations.size() *
-         dropout_probs.size() * straggler_probs.size() * codecs.size();
+         dropout_probs.size() * straggler_probs.size() * codecs.size() *
+         shard_counts.size();
 }
 
 std::vector<ScenarioSpec> SweepGrid::expand() const {
@@ -115,25 +123,28 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
             for (const double part : participations)
               for (const double drop : dropout_probs)
                 for (const double strag : straggler_probs)
-                  for (const auto& codec : codecs) {
-                    ScenarioSpec s;
-                    s.workload = workload;
-                    s.profile = profile;
-                    s.attack = attack;
-                    s.gar = gar;
-                    s.skew = skew;
-                    s.byzantine_frac = byz;
-                    s.participation = part;
-                    s.dropout_prob = drop;
-                    s.straggler_prob = strag;
-                    s.codec = codec;
-                    s.codec_chunk = codec_chunk;
-                    s.codec_k = codec_k;
-                    s.rounds = rounds;
-                    s.n_clients = n_clients;
-                    s.seed = seed;
-                    specs.push_back(std::move(s));
-                  }
+                  for (const auto& codec : codecs)
+                    for (const auto shards : shard_counts) {
+                      ScenarioSpec s;
+                      s.workload = workload;
+                      s.profile = profile;
+                      s.attack = attack;
+                      s.gar = gar;
+                      s.skew = skew;
+                      s.byzantine_frac = byz;
+                      s.participation = part;
+                      s.dropout_prob = drop;
+                      s.straggler_prob = strag;
+                      s.codec = codec;
+                      s.codec_chunk = codec_chunk;
+                      s.codec_k = codec_k;
+                      s.shards = shards;
+                      s.shard_merge = shard_merge;
+                      s.rounds = rounds;
+                      s.n_clients = n_clients;
+                      s.seed = seed;
+                      specs.push_back(std::move(s));
+                    }
   return specs;
 }
 
@@ -150,7 +161,14 @@ std::uint64_t fold_round(std::uint64_t state, const RoundTrace& t) {
                                  t.stragglers,
                                  t.selected,
                                  t.skipped ? 1ULL : 0ULL};
-  return common::fnv1a64(words, sizeof words, state);
+  state = common::fnv1a64(words, sizeof words, state);
+  // Shard accounting joins the fold only on sharded rounds: the flat
+  // path's word set is pinned by the committed goldens.
+  if (t.shards > 0) {
+    const std::uint64_t shard_words[] = {t.shards, t.shard_survivor_sum};
+    state = common::fnv1a64(shard_words, sizeof shard_words, state);
+  }
+  return state;
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
@@ -183,6 +201,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
     auto attack = make_attack(spec.attack);
     auto gar =
         make_aggregator(spec.gar, common::splitmix64(cfg.seed ^ 0x6a5ULL));
+    if (spec.shards > 1) {
+      // The sharded wrapper replaces the flat rule; per-shard instances
+      // come from the same factory, seeded off the wrapper seed. An
+      // unknown merge name throws here — a per-scenario error.
+      agg::ShardedConfig scfg;
+      scfg.shards = spec.shards;
+      scfg.merge = agg::shard_merge_from_name(spec.shard_merge);
+      const std::string inner = spec.gar;
+      gar = std::make_unique<agg::ShardedAggregator>(
+          [inner](std::uint64_t s) { return make_aggregator(inner, s); },
+          common::splitmix64(cfg.seed ^ 0x5d17ULL), scfg);
+    }
 
     std::uint64_t fold = common::kFnvOffsetBasis;
     const auto observer = [&](const RoundObservation& obs) {
@@ -197,6 +227,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
       t.stragglers = obs.stragglers;
       t.selected = obs.selected.size();
       t.decode_rejects = obs.decode_rejects;
+      t.shards = obs.shards;
+      for (const std::size_t sv : obs.shard_survivors)
+        t.shard_survivor_sum += sv;
       t.test_accuracy = obs.test_accuracy;
       t.skipped = obs.skipped;
       fold = fold_round(fold, t);
@@ -352,6 +385,12 @@ void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
     line += ",\"uplink_decoded_bytes\":" +
             std::to_string(r.uplink_decoded_bytes);
   }
+  // Sharding fields only on sharded scenarios, mirroring the codec
+  // gating: flat lines keep their exact pre-sharding bytes.
+  if (s.shards > 1) {
+    line += ",\"shards\":" + std::to_string(s.shards);
+    line += ",\"shard_merge\":" + json_str(s.shard_merge);
+  }
   line += ",\"trace_checksum\":" + json_hex(r.trace_checksum);
   if (!r.rounds.empty()) {
     line += ",\"round_checksums\":[";
@@ -380,6 +419,7 @@ std::string summary_table(const std::vector<ScenarioResult>& results) {
     if (s.dropout_prob > 0.0) g += ", drop=" + num(s.dropout_prob);
     if (s.straggler_prob > 0.0) g += ", strag=" + num(s.straggler_prob);
     if (s.codec != "none") g += ", codec=" + s.codec;
+    if (s.shards > 1) g += ", shards=" + std::to_string(s.shards);
     g += ", rounds=" + std::to_string(r.resolved_rounds);
     g += ", n=" + std::to_string(r.resolved_clients);
     g += ", seed=" + std::to_string(s.seed) + ")";

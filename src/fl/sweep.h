@@ -49,6 +49,13 @@ struct ScenarioSpec {
   std::string codec = "none";
   std::size_t codec_chunk = 4096;
   double codec_k = 0.05;
+  // Hierarchical aggregation axis (src/aggregators/sharded.h): number of
+  // shard-local aggregators the round is partitioned across, and the
+  // root merge rule ("wmean" | "momed"). shards <= 1 runs the flat path
+  // with no wrapper at all, so such scenarios keep their pre-sharding
+  // ids, RNG streams and golden traces byte-for-byte.
+  std::size_t shards = 1;
+  std::string shard_merge = "wmean";
   std::size_t rounds = 0;            // 0 = workload default for the scale
   std::size_t n_clients = 0;         // 0 = workload default
   std::uint64_t seed = 7;
@@ -82,6 +89,10 @@ struct SweepGrid {
   std::vector<std::string> codecs = {"none"};
   std::size_t codec_chunk = 4096;
   double codec_k = 0.05;
+  // Sharding axis: one scenario per shard count. The merge rule is a
+  // grid-wide scalar, same rationale as codec_chunk.
+  std::vector<std::size_t> shard_counts = {1};
+  std::string shard_merge = "wmean";
   std::size_t rounds = 0;
   std::size_t n_clients = 0;
   std::uint64_t seed = 7;
@@ -105,6 +116,12 @@ struct RoundTrace {
   // committed goldens, and a reject already shifts `participants`,
   // which is folded.
   std::size_t decode_rejects = 0;
+  // Sharded-aggregation accounting (zero on the flat path): shard count
+  // the GAR used this round and the sum of per-shard survivor counts.
+  // Folded into the trace checksum only when shards > 0, so flat
+  // scenarios keep the pinned golden fold word set.
+  std::size_t shards = 0;
+  std::size_t shard_survivor_sum = 0;
   std::optional<double> test_accuracy;
   bool skipped = false;
 };

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "aggregators/sharded.h"
 #include "comm/stats.h"
 #include "comm/wire.h"
 #include "common/gradient_matrix.h"
@@ -425,6 +426,11 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     obs.byzantine = m_eff;
     obs.dropped = n_dropped;
     obs.stragglers = n_straggler;
+    if (const auto* sharded =
+            dynamic_cast<const agg::ShardedAggregator*>(&server.gar())) {
+      obs.shards = sharded->last_shards();
+      obs.shard_survivors = sharded->last_shard_survivors();
+    }
     if (transport_on) {
       obs.decode_rejects = round_rejects;
       obs.uplink_bytes = n_round * wire_bytes;

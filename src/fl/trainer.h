@@ -104,6 +104,13 @@ struct RoundObservation {
   // benign rows that feeds the simulated omniscient attacker is a
   // harness artifact and is not billed here.
   std::uint64_t uplink_decoded_bytes = 0;
+  // Hierarchical aggregation accounting (src/aggregators/sharded.h):
+  // shard count the GAR used this round and the per-shard survivor
+  // counts in canonical shard order. Zero/empty whenever the GAR is not
+  // a ShardedAggregator. Borrows the aggregator's buffers, same
+  // lifetime as the other spans.
+  std::size_t shards = 0;
+  std::span<const std::size_t> shard_survivors;
   bool skipped = false;          // no honest participant -> no aggregation
 };
 using RoundObserver = std::function<void(const RoundObservation&)>;

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "attacks/byzmean.h"
 #include "attacks/lie.h"
@@ -300,6 +301,35 @@ TEST(TimeVarying, SwitchesPerEpochDeterministically) {
   // Across 8 epochs at least two distinct attacks should appear.
   std::set<std::string> distinct(names_a.begin(), names_a.end());
   EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(TimeVarying, EmptyPoolThrows) {
+  std::vector<std::unique_ptr<Attack>> pool;
+  EXPECT_THROW(TimeVaryingAttack(std::move(pool), /*rounds_per_epoch=*/5,
+                                 /*seed=*/7),
+               std::invalid_argument);
+  std::vector<std::unique_ptr<Attack>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(TimeVaryingAttack(std::move(with_null), 5, 7),
+               std::invalid_argument);
+}
+
+TEST(TimeVarying, QueriesBeforeBeginRoundThrow) {
+  // Before the first begin_round no epoch has drawn a sub-attack; the
+  // old behaviour silently acted as pool_[0].
+  TimeVaryingAttack attack(/*rounds_per_epoch=*/5, /*seed=*/7);
+  EXPECT_THROW(attack.flips_labels(), std::logic_error);
+  EXPECT_THROW(attack.current(), std::logic_error);
+  const auto benign = gaussian_grads(4, 8, 0.0, 1.0, 47);
+  const auto byz = gaussian_grads(1, 8, 0.0, 1.0, 48);
+  Rng rng(46);
+  auto input = make_ctx(benign, byz, 5, 1, rng);
+  EXPECT_THROW(attack.craft(input.ctx), std::logic_error);
+  // After begin_round every query is defined.
+  attack.begin_round(0, rng);
+  EXPECT_NO_THROW(attack.flips_labels());
+  EXPECT_FALSE(attack.current().empty());
+  EXPECT_NO_THROW(attack.craft(input.ctx));
 }
 
 TEST(TimeVarying, CraftDelegatesToActiveAttack) {
