@@ -9,17 +9,8 @@
 //
 // Usage (all list args comma-separated; defaults form a 24-scenario
 // smoke grid):
-//   sweep_runner [--workloads=MNIST-like,...] [--profile=grid|paper]
-//                [--attacks=NoAttack,SignFlip,LIE,ByzMean]
-//                [--gars=Mean,Median,SignGuard]
-//                [--skews=iid,0.5] [--byz=0.2] [--participation=1.0]
-//                [--dropout=0.0] [--straggler=0.0]
-//                [--codecs=none,sign1,int8,topk] [--codec-chunk=4096]
-//                [--codec-k=0.05]
-//                [--shards=1,8] [--shard-merge=wmean|momed]
-//                [--rounds=N] [--clients=N] [--seed=7]
-//                [--out=FILE] [--timing] [--no-round-checksums]
-//                [--summary] [--list]
+// Run `sweep_runner --help` for the full axis set with defaults; --list
+// prints the expanded scenario ids without running anything.
 // Scale via SIGNGUARD_SCALE=smoke|default|full (rounds=0 resolves to it).
 
 #include <cstdlib>
@@ -28,11 +19,69 @@
 
 #include "bench_common.h"
 #include "common/parallel.h"
+#include "fl/chaos.h"
 #include "fl/sweep.h"
 
 namespace {
 
 using namespace signguard;
+
+// The full axis set with defaults (satisfying `--help` and the header
+// comment above in one place). Kept in sync with the parsing below — a
+// new axis lands in both or the help is lying.
+void print_usage() {
+  std::string profiles;
+  for (const auto& p : fl::fault_profile_names())
+    (profiles += profiles.empty() ? "" : "|") += p;
+  std::fprintf(stderr, R"(sweep_runner: scenario-sweep CLI over fl::run_sweep.
+
+Grid axes (comma-separated lists; one scenario per combination):
+  --workloads=LIST      workloads                    [MNIST-like]
+  --attacks=LIST        attack names                 [NoAttack,SignFlip,LIE,ByzMean]
+  --gars=LIST           aggregation rules            [Mean,Median,SignGuard]
+  --skews=LIST          "iid" or non-IID s in [0,1]  [iid,0.5]
+  --byz=LIST            Byzantine fractions          [0.2]
+  --participation=LIST  sampled client fractions     [1.0]
+  --dropout=LIST        per-round dropout probs      [0.0]
+  --straggler=LIST      per-round straggler probs    [0.0]
+  --codecs=LIST         none|sign1|int8|topk         [none]
+  --shards=LIST         shard counts (1 = flat)      [1]
+  --faults=LIST         %s  [none]
+  --deadline=LIST       uplink deadlines, ms (0 = unbounded)  [0]
+  --churn=LIST          churn leave probability      [0.0]
+
+Grid-wide scalars:
+  --profile=grid|paper  model profile                [grid]
+  --codec-chunk=N       coords per wire chunk        [4096]
+  --codec-k=F           top-k keep fraction          [0.05]
+  --shard-merge=NAME    wmean|momed                  [wmean]
+  --churn-absence=F     mean churn absence, rounds   [2.0]
+  --quorum-min=N        min gradients at aggregator  [0 = policy off]
+  --quorum-survivors=N  min post-filter survivors    [0]
+  --quorum-action=NAME  cmean|prev|skip              [cmean]
+  --rounds=N            rounds (0 = scale default)   [0]
+  --clients=N           clients (0 = scale default)  [0]
+  --seed=N              sweep seed                   [7]
+
+Checkpoint / crash recovery (fl/checkpoint.h):
+  --checkpoint-dir=DIR  per-scenario checkpoint files in DIR  [off]
+  --checkpoint-every=N  save cadence, rounds         [1]
+  --resume              continue from existing checkpoints
+  --halt-after-round=N  simulated kill after N rounds (0 = off)
+
+Output:
+  --out=FILE            JSONL to FILE instead of stdout
+  --timing              include wall/cpu seconds in the JSONL
+  --no-round-checksums  omit the per-round checksum arrays
+  --summary             Table-I-style text summary on stderr
+  --list                print expanded scenario ids, run nothing
+  --help                this text
+
+Scale via SIGNGUARD_SCALE=smoke|default|full. JSONL streams to stdout in
+canonical id order, bit-identical for any SIGNGUARD_THREADS.
+)",
+               profiles.c_str());
+}
 
 std::vector<double> parse_skews(const std::vector<std::string>& items) {
   std::vector<double> out;
@@ -51,6 +100,10 @@ std::vector<double> parse_doubles(const std::vector<std::string>& items) {
 
 int main(int argc, char** argv) {
   using namespace signguard;
+  if (bench::has_flag(argc, argv, "help")) {
+    print_usage();
+    return 0;
+  }
   const auto scale = fl::scale_from_env();
 
   fl::SweepGrid grid;
@@ -104,6 +157,22 @@ int main(int argc, char** argv) {
        bench::split_csv(bench::arg_value(argc, argv, "shards", "1")))
     grid.shard_counts.push_back(std::strtoull(s.c_str(), nullptr, 10));
   grid.shard_merge = bench::arg_value(argc, argv, "shard-merge", "wmean");
+  // Chaos axes: an unknown fault-profile or quorum-action name surfaces
+  // per scenario, like a codec typo.
+  grid.faults =
+      bench::split_csv(bench::arg_value(argc, argv, "faults", "none"));
+  grid.deadlines = parse_doubles(
+      bench::split_csv(bench::arg_value(argc, argv, "deadline", "0")));
+  grid.churns = parse_doubles(
+      bench::split_csv(bench::arg_value(argc, argv, "churn", "0")));
+  grid.churn_absence = std::atof(
+      bench::arg_value(argc, argv, "churn-absence", "2.0").c_str());
+  grid.quorum_min = std::strtoull(
+      bench::arg_value(argc, argv, "quorum-min", "0").c_str(), nullptr, 10);
+  grid.quorum_survivors = std::strtoull(
+      bench::arg_value(argc, argv, "quorum-survivors", "0").c_str(), nullptr,
+      10);
+  grid.quorum_action = bench::arg_value(argc, argv, "quorum-action", "cmean");
   grid.rounds = std::strtoull(
       bench::arg_value(argc, argv, "rounds", "0").c_str(), nullptr, 10);
   grid.n_clients = std::strtoull(
@@ -136,6 +205,14 @@ int main(int argc, char** argv) {
   opts.include_timing = bench::has_flag(argc, argv, "timing");
   opts.jsonl = out_path.empty() ? &std::cout
                                 : static_cast<std::ostream*>(&out_file);
+  opts.checkpoint_dir = bench::arg_value(argc, argv, "checkpoint-dir");
+  opts.checkpoint_every = std::strtoull(
+      bench::arg_value(argc, argv, "checkpoint-every", "1").c_str(), nullptr,
+      10);
+  opts.resume = bench::has_flag(argc, argv, "resume");
+  opts.halt_after_round = std::strtoull(
+      bench::arg_value(argc, argv, "halt-after-round", "0").c_str(), nullptr,
+      10);
   opts.progress = [](std::size_t done, std::size_t total,
                      const fl::ScenarioResult& r) {
     std::fprintf(stderr, "[%zu/%zu] %s  best=%.2f%%%s%s\n", done, total,

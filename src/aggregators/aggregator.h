@@ -23,6 +23,7 @@
 
 #include "common/gradient_matrix.h"
 #include "common/rng.h"
+#include "common/serial.h"
 
 namespace signguard::agg {
 
@@ -53,6 +54,21 @@ class Aggregator {
   // perform explicit selection (Krum/Bulyan/DnC/SignGuard). Empty for
   // coordinate-wise rules where "selection" has no single meaning.
   virtual std::vector<std::size_t> last_selected() const { return {}; }
+
+  // Whether last_selected() is meaningful for this rule. The quorum
+  // degradation policy (fl/chaos.h) only applies its min-survivors check
+  // to rules that actually report a trusted set — for a coordinate-wise
+  // rule an empty selection means "everyone", not "nobody".
+  virtual bool reports_selection() const { return false; }
+
+  // Cross-round state snapshot/restore for crash-consistent checkpoints
+  // (fl/checkpoint.h). Rules whose aggregate depends only on (inputs,
+  // ctx.rng) keep the empty default; stateful rules (SignGuard's
+  // previous-aggregate reference and internal Rng, sharded trees'
+  // per-shard instances) serialize everything a resumed run needs to
+  // reproduce the interrupted run bitwise.
+  virtual void serialize_state(common::ByteWriter& /*w*/) const {}
+  virtual void restore_state(common::ByteReader& /*r*/) {}
 };
 
 }  // namespace signguard::agg

@@ -65,6 +65,7 @@ class MultiKrumAggregator : public Aggregator {
   std::vector<std::size_t> last_selected() const override {
     return selected_;
   }
+  bool reports_selection() const override { return true; }
 
  private:
   std::vector<std::size_t> selected_;
@@ -82,6 +83,7 @@ class BulyanAggregator : public Aggregator {
   std::vector<std::size_t> last_selected() const override {
     return selected_;
   }
+  bool reports_selection() const override { return true; }
 
  private:
   std::vector<std::size_t> selected_;
@@ -108,6 +110,7 @@ class DnCAggregator : public Aggregator {
   std::vector<std::size_t> last_selected() const override {
     return selected_;
   }
+  bool reports_selection() const override { return true; }
 
  private:
   DnCConfig cfg_;

@@ -79,6 +79,17 @@ class ShardedAggregator : public Aggregator {
   std::vector<std::size_t> last_selected() const override {
     return selected_;
   }
+  // The tree reports a selection exactly when its inner rule does.
+  bool reports_selection() const override {
+    return rules_.front()->reports_selection();
+  }
+
+  // Checkpoints: the tree's own state is the per-shard inner instances
+  // (stateful rules keep per-shard history); each built instance's blob
+  // is serialized in shard order. On restore the same instances are
+  // rebuilt deterministically from the factory and refilled.
+  void serialize_state(common::ByteWriter& w) const override;
+  void restore_state(common::ByteReader& r) override;
 
   // Per-shard accounting for RoundObservation: shard count, sizes and
   // survivor counts in canonical shard order. A shard whose rule reports

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serial.h"
 
 namespace signguard::attacks {
 
@@ -70,6 +71,16 @@ class Attack {
   virtual bool flips_labels() const { return false; }
   virtual std::vector<std::vector<float>> craft(const AttackContext& ctx) = 0;
   virtual std::string name() const = 0;
+
+  // Cross-round state snapshot/restore for crash-consistent checkpoints
+  // (fl/checkpoint.h). Every in-tree attack except TimeVaryingAttack is
+  // memoryless given (round, rng) — all per-round randomness flows
+  // through the trainer's attack_rng, whose cursor the checkpoint already
+  // carries — so the empty default is correct for them. An attack that
+  // keeps its own cross-round state (TimeVarying's epoch selector) must
+  // override both.
+  virtual void serialize_state(common::ByteWriter& /*w*/) const {}
+  virtual void restore_state(common::ByteReader& /*r*/) {}
 };
 
 // Byzantine clients behave honestly (the paper's "No Attack" column).

@@ -76,4 +76,19 @@ std::vector<std::vector<float>> TimeVaryingAttack::craft(
 
 std::string TimeVaryingAttack::current() const { return active().name(); }
 
+void TimeVaryingAttack::serialize_state(common::ByteWriter& w) const {
+  w.str(selector_.state());
+  w.u64(current_epoch_);
+  w.u64(current_idx_);
+}
+
+void TimeVaryingAttack::restore_state(common::ByteReader& r) {
+  selector_.set_state(r.str());
+  current_epoch_ = r.u64();
+  current_idx_ = r.u64();
+  if (current_epoch_ != SIZE_MAX && current_idx_ >= pool_.size())
+    throw std::runtime_error(
+        "TimeVaryingAttack: checkpointed attack index out of range");
+}
+
 }  // namespace signguard::attacks

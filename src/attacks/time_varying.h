@@ -32,6 +32,13 @@ class TimeVaryingAttack : public Attack {
   // Active sub-attack name (after begin_round), for logging.
   std::string current() const;
 
+  // Cross-round state: the epoch selector's RNG cursor and the active
+  // epoch/sub-attack (the pool's sub-attacks are memoryless, see
+  // attack.h). Without this a resumed run would re-roll the attack
+  // schedule from scratch.
+  void serialize_state(common::ByteWriter& w) const override;
+  void restore_state(common::ByteReader& r) override;
+
  private:
   // The epoch's sub-attack; throws std::logic_error pre-begin_round.
   Attack& active() const;

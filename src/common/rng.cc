@@ -1,6 +1,9 @@
 #include "common/rng.h"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "common/hash.h"
 
@@ -35,6 +38,19 @@ Rng Rng::split() {
   // child stream decorrelated from the parent's subsequent output.
   const std::uint64_t child_seed = engine_() ^ 0x9e3779b97f4a7c15ULL;
   return Rng(child_seed);
+}
+
+std::string Rng::state() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::set_state(std::string_view s) {
+  std::istringstream is{std::string(s)};
+  is >> engine_;
+  if (is.fail())
+    throw std::runtime_error("Rng::set_state: malformed engine state");
 }
 
 void Rng::shuffle(std::span<std::size_t> items) {

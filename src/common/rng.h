@@ -61,6 +61,13 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  // Exact engine state as a portable text blob (mt19937_64's stream
+  // operators), for crash-consistent checkpoints: set_state(state())
+  // reproduces the draw sequence bitwise. Throws std::runtime_error on a
+  // malformed blob.
+  std::string state() const;
+  void set_state(std::string_view s);
+
  private:
   std::mt19937_64 engine_;
 };

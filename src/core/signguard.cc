@@ -148,6 +148,16 @@ std::vector<float> SignGuard::aggregate_wire(const comm::WireRound& wire,
   return agg;
 }
 
+void SignGuard::serialize_state(common::ByteWriter& w) const {
+  w.str(rng_.state());
+  w.floats(prev_aggregate_);
+}
+
+void SignGuard::restore_state(common::ByteReader& r) {
+  rng_.set_state(r.str());
+  prev_aggregate_ = r.floats();
+}
+
 void SignGuard::reset() {
   prev_aggregate_.clear();
   selected_.clear();

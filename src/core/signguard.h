@@ -75,6 +75,12 @@ class SignGuard : public agg::Aggregator {
   std::vector<std::size_t> last_selected() const override {
     return selected_;
   }
+  bool reports_selection() const override { return true; }
+
+  // Cross-round state: the internal Rng (coordinate sampling / k-means
+  // init cursor) and the previous-aggregate similarity reference.
+  void serialize_state(common::ByteWriter& w) const override;
+  void restore_state(common::ByteReader& r) override;
 
   // Diagnostics from the last aggregate() call.
   const NormFilterResult& last_norm_filter() const { return last_norm_; }

@@ -1,0 +1,282 @@
+#include "fl/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace signguard::fl {
+namespace {
+
+// Sub-stream salts under the engine seed. Frozen: changing any of these
+// (or the draw order in simulate_uplink / churn extension) changes every
+// faults-on trace.
+constexpr std::uint64_t kTierSalt = 0x7469657273ULL;    // "tiers"
+constexpr std::uint64_t kChurnSalt = 0x636875726eULL;   // "churn"
+constexpr std::uint64_t kUplinkSalt = 0x75706c696eULL;  // "uplin"
+
+// One keyed stream per (salt, client[, round]): pure in its inputs, so
+// query order and thread count never matter.
+std::uint64_t stream_key(std::uint64_t salt, std::uint64_t client,
+                         std::uint64_t round = 0) {
+  std::uint64_t h = common::fnv1a64(&salt, sizeof salt);
+  h = common::fnv1a64(&client, sizeof client, h);
+  h = common::fnv1a64(&round, sizeof round, h);
+  return h;
+}
+
+// Geometric duration with mean 1/p, support {1, 2, ...}. Inverse-CDF on a
+// uniform draw — one draw per segment, branch-free, so schedule extension
+// consumes a fixed slice of the client's stream per segment.
+std::uint64_t geometric_len(Rng& rng, double p) {
+  if (p >= 1.0) return 1;
+  // uniform() is [0, 1); 1-u is (0, 1] so log() is finite and <= 0.
+  const double u = 1.0 - rng.uniform();
+  const double len = std::floor(std::log(u) / std::log1p(-p));
+  return 1 + static_cast<std::uint64_t>(std::max(0.0, len));
+}
+
+void check_prob(double p, const char* what) {
+  if (!(p >= 0.0) || p > 1.0)
+    throw std::invalid_argument(std::string("chaos: ") + what +
+                                " must be in [0, 1]");
+}
+
+}  // namespace
+
+FaultProfile fault_profile_from_name(const std::string& name) {
+  FaultProfile p;
+  p.name = name;
+  if (name == "none") {
+    return p;
+  }
+  if (name == "lan") {
+    // Wired/campus federation: tight latency, rare drops, quick retries.
+    p.latency_median_ms = 20.0;
+    p.latency_sigma = 0.3;
+    p.p_drop = 0.01;
+    p.max_attempts = 3;
+    p.backoff_ms = 10.0;
+    return p;
+  }
+  if (name == "wan") {
+    // Cross-region federation: heavier tail, a slow device minority,
+    // occasional corruption on the path.
+    p.latency_median_ms = 120.0;
+    p.latency_sigma = 0.6;
+    p.tiers = {{0.50, 1.0}, {0.35, 2.0}, {0.15, 4.0}};
+    p.p_drop = 0.03;
+    p.p_truncate = 0.005;
+    p.p_bitflip = 0.005;
+    p.max_attempts = 4;
+    p.backoff_ms = 50.0;
+    return p;
+  }
+  if (name == "flaky") {
+    // Stress profile: every seventh-ish attempt fails some way.
+    p.latency_median_ms = 80.0;
+    p.latency_sigma = 0.8;
+    p.p_drop = 0.10;
+    p.p_truncate = 0.02;
+    p.p_bitflip = 0.02;
+    p.max_attempts = 5;
+    p.backoff_ms = 25.0;
+    return p;
+  }
+  if (name == "mobile") {
+    // Phone fleet: wide latency spread, strong device-class split.
+    p.latency_median_ms = 200.0;
+    p.latency_sigma = 1.0;
+    p.tiers = {{0.30, 1.0}, {0.40, 2.5}, {0.30, 6.0}};
+    p.p_drop = 0.05;
+    p.p_truncate = 0.01;
+    p.p_bitflip = 0.01;
+    p.max_attempts = 4;
+    p.backoff_ms = 80.0;
+    return p;
+  }
+  throw std::invalid_argument("chaos: unknown fault profile '" + name + "'");
+}
+
+const std::vector<std::string>& fault_profile_names() {
+  static const std::vector<std::string> names = {"none", "lan", "wan", "flaky",
+                                                 "mobile"};
+  return names;
+}
+
+void ChaosConfig::validate() const {
+  check_prob(profile.p_drop, "p_drop");
+  check_prob(profile.p_truncate, "p_truncate");
+  check_prob(profile.p_bitflip, "p_bitflip");
+  if (profile.p_drop + profile.p_truncate + profile.p_bitflip > 1.0)
+    throw std::invalid_argument(
+        "chaos: per-attempt fault probabilities must sum to <= 1");
+  if (profile.latency_median_ms < 0.0 || profile.latency_sigma < 0.0)
+    throw std::invalid_argument("chaos: latency parameters must be >= 0");
+  if (profile.max_attempts < 1)
+    throw std::invalid_argument("chaos: max_attempts must be >= 1");
+  if (profile.backoff_ms < 0.0 || profile.backoff_mult < 1.0)
+    throw std::invalid_argument(
+        "chaos: backoff_ms must be >= 0 and backoff_mult >= 1");
+  double tier_sum = 0.0;
+  for (const auto& t : profile.tiers) {
+    if (t.fraction <= 0.0 || t.latency_mult <= 0.0)
+      throw std::invalid_argument(
+          "chaos: tier fractions and multipliers must be > 0");
+    tier_sum += t.fraction;
+  }
+  if (!profile.tiers.empty() && std::abs(tier_sum - 1.0) > 1e-6)
+    throw std::invalid_argument("chaos: tier fractions must sum to 1");
+  if (deadline_ms < 0.0)
+    throw std::invalid_argument("chaos: deadline_ms must be >= 0");
+  check_prob(churn_leave_prob, "churn_leave_prob");
+  if (churn_leave_prob >= 1.0)
+    throw std::invalid_argument("chaos: churn_leave_prob must be < 1");
+  if (churn_leave_prob > 0.0 && churn_mean_absence < 1.0)
+    throw std::invalid_argument("chaos: churn_mean_absence must be >= 1");
+}
+
+ChaosEngine::ChaosEngine(std::size_t n_clients, ChaosConfig cfg,
+                         std::uint64_t seed)
+    : cfg_(std::move(cfg)), seed_(seed) {
+  cfg_.validate();
+  tier_.assign(n_clients, 0);
+  tier_mult_.assign(n_clients, 1.0);
+  if (!cfg_.profile.tiers.empty()) {
+    // Tier assignment: one keyed draw per client against the cumulative
+    // tier fractions, so client i's device class is independent of n.
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      Rng r = Rng::stream(seed_, stream_key(kTierSalt, i));
+      const double u = r.uniform();
+      double cum = 0.0;
+      std::size_t t = cfg_.profile.tiers.size() - 1;
+      for (std::size_t k = 0; k < cfg_.profile.tiers.size(); ++k) {
+        cum += cfg_.profile.tiers[k].fraction;
+        if (u < cum) {
+          t = k;
+          break;
+        }
+      }
+      tier_[i] = static_cast<std::uint8_t>(t);
+      tier_mult_[i] = cfg_.profile.tiers[t].latency_mult;
+    }
+  }
+  if (cfg_.churn_leave_prob > 0.0) {
+    churn_.reserve(n_clients);
+    for (std::size_t i = 0; i < n_clients; ++i)
+      churn_.push_back({Rng::stream(seed_, stream_key(kChurnSalt, i)), {}});
+  }
+}
+
+bool ChaosEngine::client_up(std::size_t client, std::size_t round) {
+  if (cfg_.churn_leave_prob <= 0.0) return true;
+  ChurnSchedule& s = churn_[client];
+  // Extend the alternating up/down schedule until it covers `round`.
+  // Every client starts up; up durations are geometric with the leave
+  // hazard, absences geometric with mean churn_mean_absence.
+  while (s.seg_end.empty() || s.seg_end.back() <= round) {
+    const bool up = s.seg_end.size() % 2 == 0;
+    const double p =
+        up ? cfg_.churn_leave_prob : 1.0 / cfg_.churn_mean_absence;
+    const std::uint64_t len = geometric_len(s.rng, p);
+    const std::uint64_t prev = s.seg_end.empty() ? 0 : s.seg_end.back();
+    s.seg_end.push_back(prev + len);
+  }
+  const auto it =
+      std::upper_bound(s.seg_end.begin(), s.seg_end.end(), round);
+  const std::size_t seg = static_cast<std::size_t>(it - s.seg_end.begin());
+  return seg % 2 == 0;
+}
+
+UplinkSim ChaosEngine::simulate_uplink(std::size_t client,
+                                       std::size_t round) const {
+  UplinkSim sim;
+  const FaultProfile& p = cfg_.profile;
+  if (p.none()) {
+    // Deadline/churn-only configs: uplinks are instantaneous and clean.
+    return sim;
+  }
+  Rng rng = Rng::stream(seed_, stream_key(kUplinkSalt, client, round));
+  const double mu = std::log(std::max(p.latency_median_ms, 1e-9));
+  const double mult = tier_mult_[client];
+  const bool deadline = cfg_.deadline_ms > 0.0;
+  double backoff = p.backoff_ms;
+  // Draw order per attempt is frozen: latency normal, fault uniform, and
+  // (for corrupting faults) one engine() word for the corruption site.
+  for (std::size_t attempt = 1;; ++attempt) {
+    sim.attempts = static_cast<std::uint32_t>(attempt);
+    const double latency =
+        p.latency_median_ms > 0.0
+            ? mult * std::exp(rng.normal(mu, p.latency_sigma))
+            : 0.0;
+    sim.elapsed_ms += latency;
+    const double u = rng.uniform();
+    if (u < p.p_drop) {
+      sim.corrupt = UplinkSim::Corrupt::kNone;
+      if (attempt >= p.max_attempts) {
+        sim.delivery = UplinkSim::Delivery::kLost;
+        return sim;
+      }
+    } else if (u < p.p_drop + p.p_truncate + p.p_bitflip) {
+      sim.corrupt = u < p.p_drop + p.p_truncate
+                        ? UplinkSim::Corrupt::kTruncate
+                        : UplinkSim::Corrupt::kBitFlip;
+      sim.corrupt_pos = rng.engine()();
+      if (attempt >= p.max_attempts) {
+        // The mangled bytes did arrive; whether in budget decides
+        // corrupt-reject vs straggler.
+        sim.delivery = (deadline && sim.elapsed_ms > cfg_.deadline_ms)
+                           ? UplinkSim::Delivery::kLate
+                           : UplinkSim::Delivery::kCorrupt;
+        return sim;
+      }
+    } else {
+      sim.corrupt = UplinkSim::Corrupt::kNone;
+      sim.delivery = (deadline && sim.elapsed_ms > cfg_.deadline_ms)
+                         ? UplinkSim::Delivery::kLate
+                         : UplinkSim::Delivery::kOnTime;
+      return sim;
+    }
+    sim.elapsed_ms += backoff;
+    backoff *= p.backoff_mult;
+  }
+}
+
+const char* to_string(DegradeAction a) {
+  switch (a) {
+    case DegradeAction::kSkip:
+      return "skip";
+    case DegradeAction::kPrevAggregate:
+      return "prev";
+    case DegradeAction::kClippedMean:
+      return "cmean";
+  }
+  return "?";
+}
+
+DegradeAction degrade_action_from_name(const std::string& name) {
+  if (name == "skip") return DegradeAction::kSkip;
+  if (name == "prev") return DegradeAction::kPrevAggregate;
+  if (name == "cmean") return DegradeAction::kClippedMean;
+  throw std::invalid_argument("chaos: unknown degrade action '" + name +
+                              "' (want skip|prev|cmean)");
+}
+
+const char* to_string(RoundOutcome o) {
+  switch (o) {
+    case RoundOutcome::kProceed:
+      return "proceed";
+    case RoundOutcome::kFallbackClippedMean:
+      return "fallback_cmean";
+    case RoundOutcome::kFallbackPrevAggregate:
+      return "fallback_prev";
+    case RoundOutcome::kSkippedQuorum:
+      return "skipped_quorum";
+    case RoundOutcome::kSkippedNoHonest:
+      return "skipped_no_honest";
+  }
+  return "?";
+}
+
+}  // namespace signguard::fl

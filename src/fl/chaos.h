@@ -1,0 +1,192 @@
+#pragma once
+// Deterministic chaos engine: the benign-failure model of a production
+// federation, replacing the trainer's original two Bernoulli coins with
+// (a) a client latency model — device-class speed tiers crossed with a
+//     lognormal per-attempt uplink latency,
+// (b) session churn — clients leave and rejoin on per-client schedules
+//     of geometric up/down durations,
+// (c) a simulated uplink protocol — per-attempt transport faults
+//     (drop / truncate / bit-flip, surfacing through the comm wire
+//     layer's DecodeStatus machinery), bounded retry with exponential
+//     backoff, and a per-round deadline budget: an update whose last
+//     attempt lands after the deadline becomes a straggler,
+// (d) quorum degradation — when a round is starved of participants or
+//     post-filter survivors, the server degrades per policy (skip /
+//     previous aggregate / clipped mean) instead of throwing or
+//     aggregating nothing.
+//
+// Determinism contract: every draw comes from a stateless keyed stream
+// (Rng::stream semantics) keyed on (engine seed, client, round), never
+// from a shared sequential cursor. Consequences the tests pin down:
+//   * results are bitwise identical for any SIGNGUARD_THREADS and any
+//     query order;
+//   * an engine rebuilt from the same seed after a checkpoint restore
+//     answers every (client, round) query identically — the chaos
+//     engine needs NO cursor in the checkpoint (fl/checkpoint.h);
+//   * with the engine off (ChaosConfig::active() == false) the trainer
+//     draws nothing from it, so all pre-chaos traces stay byte-identical.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace signguard::fl {
+
+// One device class: a share of the population and the latency multiplier
+// its uplinks pay (1.0 = the profile's base latency).
+struct DeviceTier {
+  double fraction = 1.0;
+  double latency_mult = 1.0;
+};
+
+// The transport/latency half of the fault model, nameable so it can ride
+// the sweep grid as one axis ("--faults=none,lan,wan,flaky,mobile").
+struct FaultProfile {
+  std::string name = "none";
+  // Per-attempt uplink latency: latency_mult * exp(N(log(median), sigma)).
+  double latency_median_ms = 0.0;
+  double latency_sigma = 0.0;
+  std::vector<DeviceTier> tiers;  // empty = one tier, multiplier 1.0
+  // Per-attempt transport fault probabilities (must sum to <= 1):
+  // drop — the packet never arrives; truncate / bit-flip — the bytes
+  // arrive mangled, the wire decoder rejects them (comm::DecodeStatus),
+  // and the server NACKs, triggering a retry.
+  double p_drop = 0.0;
+  double p_truncate = 0.0;
+  double p_bitflip = 0.0;
+  // Bounded retry with exponential backoff: attempt k (k >= 2) waits
+  // backoff_ms * backoff_mult^(k-2) before retransmitting.
+  std::size_t max_attempts = 1;
+  double backoff_ms = 0.0;
+  double backoff_mult = 2.0;
+
+  bool none() const { return name == "none"; }
+};
+
+// Preset registry. Throws std::invalid_argument on an unknown name; the
+// presets are frozen (they parameterize committed sweep ids and traces).
+FaultProfile fault_profile_from_name(const std::string& name);
+const std::vector<std::string>& fault_profile_names();
+
+struct ChaosConfig {
+  FaultProfile profile;
+  // Round deadline budget in simulated milliseconds (0 = no deadline):
+  // an uplink whose delivery lands after the deadline is discarded as a
+  // straggler, exactly like the legacy straggler coin's victims.
+  double deadline_ms = 0.0;
+  // Session churn: per-round hazard of an up client starting an absence,
+  // and the mean absence length in rounds (geometric, >= 1). A client
+  // absent in a round misses it entirely — no local work, no state
+  // change — and is counted in RoundObservation::churned.
+  double churn_leave_prob = 0.0;
+  double churn_mean_absence = 2.0;
+
+  bool active() const {
+    return !profile.none() || deadline_ms > 0.0 || churn_leave_prob > 0.0;
+  }
+  // Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+// Outcome of one simulated uplink (all attempts folded together).
+struct UplinkSim {
+  enum class Delivery : std::uint8_t {
+    kOnTime = 0,  // clean bytes arrived within the deadline
+    kCorrupt,     // bytes arrived in budget, but mangled (decode reject)
+    kLate,        // delivery landed after the deadline -> straggler
+    kLost,        // every attempt dropped -> update never arrived
+  };
+  enum class Corrupt : std::uint8_t { kNone = 0, kTruncate, kBitFlip };
+
+  Delivery delivery = Delivery::kOnTime;
+  Corrupt corrupt = Corrupt::kNone;
+  std::uint32_t attempts = 1;   // transmissions, including the first
+  double elapsed_ms = 0.0;      // simulated time until resolution
+  std::uint64_t corrupt_pos = 0;  // raw draw; caller maps it into the buffer
+};
+
+// The engine itself. Not thread-safe across concurrent callers (the
+// trainer queries it only from the round loop's own thread; each sweep
+// scenario owns its own engine), but all answers are pure functions of
+// (seed, client, round), so call order never matters.
+class ChaosEngine {
+ public:
+  // Throws std::invalid_argument when cfg.validate() does.
+  ChaosEngine(std::size_t n_clients, ChaosConfig cfg, std::uint64_t seed);
+
+  // Session churn: is `client` present in `round`? Always true while
+  // churn is off. Schedules are generated lazily per client from that
+  // client's own stream and cached; the cache is an optimization only.
+  bool client_up(std::size_t client, std::size_t round);
+
+  // Simulates every attempt of one uplink. Pure in (seed, client, round).
+  UplinkSim simulate_uplink(std::size_t client, std::size_t round) const;
+
+  std::size_t tier_of(std::size_t client) const { return tier_[client]; }
+  double tier_latency_mult(std::size_t client) const {
+    return tier_mult_[client];
+  }
+  const ChaosConfig& config() const { return cfg_; }
+
+ private:
+  ChaosConfig cfg_;
+  std::uint64_t seed_;
+  std::vector<std::uint8_t> tier_;   // device class per client
+  std::vector<double> tier_mult_;    // latency multiplier per client
+  // Churn schedule cache: per client, cumulative segment ends (segment i
+  // covers rounds [seg_end[i-1], seg_end[i]); even i = up) plus the
+  // client's schedule stream, so extension resumes where generation
+  // stopped.
+  struct ChurnSchedule {
+    Rng rng;
+    std::vector<std::uint64_t> seg_end;
+  };
+  std::vector<ChurnSchedule> churn_;
+};
+
+// ---- Quorum degradation -----------------------------------------------------
+
+// What the server does when a round fails its quorum (or the GAR throws
+// / filters everyone out): skip the update, replay the previous round's
+// aggregate, or fall back to a norm-clipped mean over the finite-norm
+// participants.
+enum class DegradeAction : std::uint8_t {
+  kSkip = 0,
+  kPrevAggregate = 1,
+  kClippedMean = 2,
+};
+const char* to_string(DegradeAction a);
+// "skip" | "prev" | "cmean"; throws std::invalid_argument otherwise.
+DegradeAction degrade_action_from_name(const std::string& name);
+
+struct QuorumPolicy {
+  // Pre-aggregation quorum: fewer than min_participants accepted updates
+  // degrades the round (0 = no check).
+  std::size_t min_participants = 0;
+  // Post-filter quorum for selecting rules (reports_selection() == true):
+  // a trusted set smaller than min_survivors — including the empty set a
+  // filter-everyone round produces — degrades the round (0 = no check).
+  std::size_t min_survivors = 0;
+  // Fallback chain: kClippedMean falls back to kPrevAggregate when no
+  // finite-norm participant exists, which falls back to kSkip before the
+  // first aggregate exists.
+  DegradeAction action = DegradeAction::kClippedMean;
+
+  bool active() const { return min_participants > 0 || min_survivors > 0; }
+};
+
+// Explicit per-round outcome, surfaced in RoundObservation and counted
+// in TrainingResult. kSkippedNoHonest covers the pre-existing skip
+// reasons (no honest participant / every honest uplink rejected).
+enum class RoundOutcome : std::uint8_t {
+  kProceed = 0,
+  kFallbackClippedMean = 1,
+  kFallbackPrevAggregate = 2,
+  kSkippedQuorum = 3,
+  kSkippedNoHonest = 4,
+};
+const char* to_string(RoundOutcome o);
+
+}  // namespace signguard::fl

@@ -69,4 +69,18 @@ double Client::average_loss() const {
   return loss_count_ > 0 ? loss_sum_ / double(loss_count_) : 0.0;
 }
 
+void Client::serialize_state(common::ByteWriter& w) const {
+  w.str(rng_.state());
+  w.floats(momentum_buffer_);
+  w.f64(loss_sum_);
+  w.u64(loss_count_);
+}
+
+void Client::restore_state(common::ByteReader& r) {
+  rng_.set_state(r.str());
+  momentum_buffer_ = r.floats();
+  loss_sum_ = r.f64();
+  loss_count_ = r.u64();
+}
+
 }  // namespace signguard::fl

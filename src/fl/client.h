@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serial.h"
 #include "data/dataset.h"
 #include "nn/loss.h"
 #include "nn/model.h"
@@ -48,6 +49,13 @@ class Client {
 
   // Running mean of training loss observed by this client (diagnostic).
   double average_loss() const;
+
+  // Cross-round state snapshot/restore for crash-consistent checkpoints:
+  // batch-sampling RNG cursor, client-momentum buffer, loss statistics.
+  // The shard itself is NOT serialized — it is a pure function of the
+  // trainer config seed and is rebuilt identically on resume.
+  void serialize_state(common::ByteWriter& w) const;
+  void restore_state(common::ByteReader& r);
 
  private:
   const data::Dataset* dataset_;

@@ -47,6 +47,24 @@ struct TrainingResult {
   // only the trusted set's on the compressed-domain SignGuard path
   // (SIGNGUARD_WIREPATH) — the whole point of filtering on wire bytes.
   std::uint64_t uplink_decoded_bytes = 0;
+  // Degradation accounting (fl/chaos.h): rounds that did not apply a
+  // normal aggregate. skipped_rounds counts every skip (quorum-starved
+  // plus the no-honest-participant skips that predate the chaos engine);
+  // the fallback counters split out the quorum policy's degraded-but-
+  // applied rounds. Sweep summaries read these directly — skipped rounds
+  // used to be visible only through the per-round observer.
+  std::size_t skipped_rounds = 0;
+  std::size_t fallback_cmean_rounds = 0;
+  std::size_t fallback_prev_rounds = 0;
+  // Chaos totals over the run (zero while the chaos engine is off).
+  std::size_t churned_total = 0;         // client-rounds missed to churn
+  std::size_t deadline_miss_total = 0;   // uplinks that became stragglers
+  std::size_t lost_uplink_total = 0;     // uplinks dropped on every attempt
+  std::uint64_t uplink_attempts = 0;     // transmissions incl. retries
+  double sim_time_ms = 0.0;              // summed simulated round time
+  // True when the run stopped early at CheckpointConfig::halt_after_round
+  // (the simulated-kill switch) rather than completing cfg.rounds.
+  bool halted = false;
 };
 
 // Definition 3: attack impact = baseline accuracy - achieved accuracy.

@@ -1,6 +1,7 @@
 #include "fl/server.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace signguard::fl {
 
@@ -34,6 +35,17 @@ const std::vector<float>& Server::apply_aggregate(
   assert(last_aggregate_.size() == params_.size());
   optimizer_.step(params_, last_aggregate_);
   return last_aggregate_;
+}
+
+void Server::restore(std::vector<float> params, std::vector<float> velocity,
+                     std::vector<float> last_aggregate) {
+  if (params.size() != params_.size())
+    throw std::invalid_argument(
+        "Server::restore: parameter count mismatch (checkpoint from a "
+        "different model?)");
+  params_ = std::move(params);
+  optimizer_.set_velocity(std::move(velocity));
+  last_aggregate_ = std::move(last_aggregate);
 }
 
 }  // namespace signguard::fl

@@ -37,6 +37,18 @@ class Server {
   agg::Aggregator& gar() { return *gar_; }
   void set_lr(double lr) { optimizer_.set_lr(lr); }
 
+  // The aggregate applied by the most recent step()/apply_aggregate()
+  // (empty before the first update) — the quorum fallback's
+  // previous-aggregate replay and the checkpoint both need it.
+  const std::vector<float>& last_aggregate() const { return last_aggregate_; }
+  const nn::SgdMomentum& optimizer() const { return optimizer_; }
+
+  // Checkpoint restore: overwrite the full mutable server state (model
+  // parameters, momentum velocity, previous aggregate) in one shot.
+  // Throws std::invalid_argument on a parameter-size mismatch.
+  void restore(std::vector<float> params, std::vector<float> velocity,
+               std::vector<float> last_aggregate);
+
  private:
   std::unique_ptr<agg::Aggregator> gar_;
   std::vector<float> params_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <map>
 #include <mutex>
@@ -93,6 +94,20 @@ std::string ScenarioSpec::id() const {
     s += "/shards=" + std::to_string(shards);
     if (shard_merge != "wmean") s += "/smerge=" + shard_merge;
   }
+  // Chaos and quorum segments join the id only when their axis is on,
+  // like the transport segment: fault-free scenarios keep their bytes.
+  if (chaos_active()) {
+    s += "/fault=" + fault;
+    if (deadline_ms > 0.0) s += "/dl=" + num(deadline_ms);
+    if (churn > 0.0)
+      s += "/churn=" + num(churn) + "/abs=" + num(churn_absence);
+  }
+  if (quorum_active()) {
+    s += "/qmin=" + std::to_string(quorum_min);
+    if (quorum_survivors > 0)
+      s += "/qsurv=" + std::to_string(quorum_survivors);
+    if (quorum_action != "cmean") s += "/qact=" + quorum_action;
+  }
   s += "/r=" + std::to_string(rounds);
   s += "/n=" + std::to_string(n_clients);
   s += "/seed=" + std::to_string(seed);
@@ -109,7 +124,8 @@ std::size_t SweepGrid::size() const {
   return workloads.size() * attacks.size() * gars.size() * skews.size() *
          byzantine_fracs.size() * participations.size() *
          dropout_probs.size() * straggler_probs.size() * codecs.size() *
-         shard_counts.size();
+         shard_counts.size() * faults.size() * deadlines.size() *
+         churns.size();
 }
 
 std::vector<ScenarioSpec> SweepGrid::expand() const {
@@ -124,27 +140,37 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
               for (const double drop : dropout_probs)
                 for (const double strag : straggler_probs)
                   for (const auto& codec : codecs)
-                    for (const auto shards : shard_counts) {
-                      ScenarioSpec s;
-                      s.workload = workload;
-                      s.profile = profile;
-                      s.attack = attack;
-                      s.gar = gar;
-                      s.skew = skew;
-                      s.byzantine_frac = byz;
-                      s.participation = part;
-                      s.dropout_prob = drop;
-                      s.straggler_prob = strag;
-                      s.codec = codec;
-                      s.codec_chunk = codec_chunk;
-                      s.codec_k = codec_k;
-                      s.shards = shards;
-                      s.shard_merge = shard_merge;
-                      s.rounds = rounds;
-                      s.n_clients = n_clients;
-                      s.seed = seed;
-                      specs.push_back(std::move(s));
-                    }
+                    for (const auto shards : shard_counts)
+                      for (const auto& fault : faults)
+                        for (const double deadline : deadlines)
+                          for (const double churn : churns) {
+                            ScenarioSpec s;
+                            s.workload = workload;
+                            s.profile = profile;
+                            s.attack = attack;
+                            s.gar = gar;
+                            s.skew = skew;
+                            s.byzantine_frac = byz;
+                            s.participation = part;
+                            s.dropout_prob = drop;
+                            s.straggler_prob = strag;
+                            s.codec = codec;
+                            s.codec_chunk = codec_chunk;
+                            s.codec_k = codec_k;
+                            s.shards = shards;
+                            s.shard_merge = shard_merge;
+                            s.fault = fault;
+                            s.deadline_ms = deadline;
+                            s.churn = churn;
+                            s.churn_absence = churn_absence;
+                            s.quorum_min = quorum_min;
+                            s.quorum_survivors = quorum_survivors;
+                            s.quorum_action = quorum_action;
+                            s.rounds = rounds;
+                            s.n_clients = n_clients;
+                            s.seed = seed;
+                            specs.push_back(std::move(s));
+                          }
   return specs;
 }
 
@@ -168,7 +194,75 @@ std::uint64_t fold_round(std::uint64_t state, const RoundTrace& t) {
     const std::uint64_t shard_words[] = {t.shards, t.shard_survivor_sum};
     state = common::fnv1a64(shard_words, sizeof shard_words, state);
   }
+  // Chaos accounting joins only for chaos scenarios, and the outcome
+  // word only under a quorum policy — same gating discipline, so
+  // fault-free goldens keep their pinned word set.
+  if (t.chaos) {
+    std::uint64_t ms_bits;
+    std::memcpy(&ms_bits, &t.sim_round_ms, sizeof ms_bits);
+    const std::uint64_t chaos_words[] = {t.churned, t.deadline_misses,
+                                         t.lost_uplinks, t.uplink_attempts,
+                                         ms_bits};
+    state = common::fnv1a64(chaos_words, sizeof chaos_words, state);
+  }
+  if (t.quorum) {
+    const std::uint64_t outcome_word[] = {
+        static_cast<std::uint64_t>(t.outcome)};
+    state = common::fnv1a64(outcome_word, sizeof outcome_word, state);
+  }
   return state;
+}
+
+// RoundTrace round-trip for the sweep checkpoint's extra blob: a resumed
+// scenario must re-emit the already-traced rounds byte-identically, so
+// the captured traces ride inside the trainer checkpoint.
+void write_trace(common::ByteWriter& w, const RoundTrace& t) {
+  w.u64(t.round);
+  w.u64(t.aggregate_checksum);
+  w.u64(t.participants);
+  w.u64(t.byzantine);
+  w.u64(t.dropped);
+  w.u64(t.stragglers);
+  w.u64(t.selected);
+  w.u64(t.decode_rejects);
+  w.u64(t.shards);
+  w.u64(t.shard_survivor_sum);
+  w.u64(t.churned);
+  w.u64(t.deadline_misses);
+  w.u64(t.lost_uplinks);
+  w.u64(t.uplink_attempts);
+  w.f64(t.sim_round_ms);
+  w.u8(static_cast<std::uint8_t>(t.outcome));
+  w.u8(t.chaos ? 1 : 0);
+  w.u8(t.quorum ? 1 : 0);
+  w.u8(t.test_accuracy.has_value() ? 1 : 0);
+  if (t.test_accuracy) w.f64(*t.test_accuracy);
+  w.u8(t.skipped ? 1 : 0);
+}
+
+RoundTrace read_trace(common::ByteReader& r) {
+  RoundTrace t;
+  t.round = r.u64();
+  t.aggregate_checksum = r.u64();
+  t.participants = r.u64();
+  t.byzantine = r.u64();
+  t.dropped = r.u64();
+  t.stragglers = r.u64();
+  t.selected = r.u64();
+  t.decode_rejects = r.u64();
+  t.shards = r.u64();
+  t.shard_survivor_sum = r.u64();
+  t.churned = r.u64();
+  t.deadline_misses = r.u64();
+  t.lost_uplinks = r.u64();
+  t.uplink_attempts = r.u64();
+  t.sim_round_ms = r.f64();
+  t.outcome = static_cast<RoundOutcome>(r.u8());
+  t.chaos = r.u8() != 0;
+  t.quorum = r.u8() != 0;
+  if (r.u8() != 0) t.test_accuracy = r.f64();
+  t.skipped = r.u8() != 0;
+  return t;
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
@@ -191,12 +285,60 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
 
   const auto wall0 = std::chrono::steady_clock::now();
   const double cpu0 = thread_cpu_seconds();
+  // Declared ahead of the try so the checkpoint extra-blob lambdas (which
+  // outlive this scope inside the TrainerConfig) can capture it.
+  std::uint64_t fold = common::kFnvOffsetBasis;
   try {
     // Inside the try: an unknown codec name or degenerate chunk/k is a
     // per-scenario error, not a sweep abort.
     cfg.compression.codec = comm::codec_kind_from_name(spec.codec);
     cfg.compression.chunk = spec.codec_chunk;
     cfg.compression.k_fraction = spec.codec_k;
+    // Chaos / quorum axes (an unknown profile or action name is likewise
+    // a per-scenario error).
+    cfg.chaos.profile = fault_profile_from_name(spec.fault);
+    cfg.chaos.deadline_ms = spec.deadline_ms;
+    cfg.chaos.churn_leave_prob = spec.churn;
+    cfg.chaos.churn_mean_absence = spec.churn_absence;
+    cfg.quorum.min_participants = spec.quorum_min;
+    cfg.quorum.min_survivors = spec.quorum_survivors;
+    cfg.quorum.action = degrade_action_from_name(spec.quorum_action);
+    const bool chaos_scn = cfg.chaos.active();
+    const bool quorum_scn = cfg.quorum.active();
+    if (!opts.checkpoint_dir.empty()) {
+      // One checkpoint file per scenario, named by its id hash: the id is
+      // the canonical key, and hashing keeps the filename filesystem-safe
+      // at any grid size.
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(
+                        common::fnv1a64(spec.id())));
+      cfg.checkpoint.path = opts.checkpoint_dir + "/" + hex + ".ckpt";
+      cfg.checkpoint.every = opts.checkpoint_every;
+      cfg.checkpoint.resume = opts.resume;
+      cfg.checkpoint.halt_after_round = opts.halt_after_round;
+      // The observer's fold state and captured traces ride in the
+      // checkpoint's extra blob, so a resumed scenario replays its JSONL
+      // byte-identically. &r / &fold outlive trainer.run below.
+      cfg.checkpoint.save_extra = [&r, &fold](common::ByteWriter& w) {
+        w.u64(fold);
+        w.u64(r.skipped_rounds);
+        w.u64(r.dropped_total);
+        w.u64(r.straggler_total);
+        w.u64(r.rounds.size());
+        for (const RoundTrace& t : r.rounds) write_trace(w, t);
+      };
+      cfg.checkpoint.load_extra = [&r, &fold](common::ByteReader& rd) {
+        fold = rd.u64();
+        r.skipped_rounds = rd.u64();
+        r.dropped_total = rd.u64();
+        r.straggler_total = rd.u64();
+        const std::uint64_t n_traces = rd.u64();
+        r.rounds.clear();
+        for (std::uint64_t i = 0; i < n_traces; ++i)
+          r.rounds.push_back(read_trace(rd));
+      };
+    }
     Trainer trainer(w.data, w.model_factory, cfg);
     auto attack = make_attack(spec.attack);
     auto gar =
@@ -214,7 +356,6 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
           common::splitmix64(cfg.seed ^ 0x5d17ULL), scfg);
     }
 
-    std::uint64_t fold = common::kFnvOffsetBasis;
     const auto observer = [&](const RoundObservation& obs) {
       RoundTrace t;
       t.round = obs.round;
@@ -230,6 +371,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
       t.shards = obs.shards;
       for (const std::size_t sv : obs.shard_survivors)
         t.shard_survivor_sum += sv;
+      t.churned = obs.churned;
+      t.deadline_misses = obs.deadline_misses;
+      t.lost_uplinks = obs.lost_uplinks;
+      t.uplink_attempts = obs.uplink_attempts;
+      t.sim_round_ms = obs.sim_round_ms;
+      t.outcome = obs.outcome;
+      t.chaos = chaos_scn;
+      t.quorum = quorum_scn;
       t.test_accuracy = obs.test_accuracy;
       t.skipped = obs.skipped;
       fold = fold_round(fold, t);
@@ -250,6 +399,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
     r.uplink_dense_bytes = res.uplink_dense_bytes;
     r.decode_rejects = res.decode_rejects;
     r.uplink_decoded_bytes = res.uplink_decoded_bytes;
+    r.churned_total = res.churned_total;
+    r.deadline_miss_total = res.deadline_miss_total;
+    r.lost_uplink_total = res.lost_uplink_total;
+    r.uplink_attempts = res.uplink_attempts;
+    r.sim_time_ms = res.sim_time_ms;
+    r.fallback_cmean_rounds = res.fallback_cmean_rounds;
+    r.fallback_prev_rounds = res.fallback_prev_rounds;
+    r.halted = res.halted;
     if (res.uplink_bytes > 0)
       r.compression_ratio = static_cast<float>(
           double(res.uplink_dense_bytes) / double(res.uplink_bytes));
@@ -391,6 +548,32 @@ void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
     line += ",\"shards\":" + std::to_string(s.shards);
     line += ",\"shard_merge\":" + json_str(s.shard_merge);
   }
+  // Chaos / quorum blocks under the same gating: fault-free,
+  // policy-free lines — the goldens — keep their exact bytes.
+  if (s.chaos_active()) {
+    line += ",\"fault\":" + json_str(s.fault);
+    if (s.deadline_ms > 0.0)
+      line += ",\"deadline_ms\":" + json_num(s.deadline_ms);
+    if (s.churn > 0.0) {
+      line += ",\"churn\":" + json_num(s.churn);
+      line += ",\"churn_absence\":" + json_num(s.churn_absence);
+    }
+    line += ",\"churned\":" + std::to_string(r.churned_total);
+    line += ",\"deadline_misses\":" + std::to_string(r.deadline_miss_total);
+    line += ",\"lost_uplinks\":" + std::to_string(r.lost_uplink_total);
+    line += ",\"uplink_attempts\":" + std::to_string(r.uplink_attempts);
+    line += ",\"sim_time_ms\":" + json_num(r.sim_time_ms);
+  }
+  if (s.quorum_active()) {
+    line += ",\"quorum_min\":" + std::to_string(s.quorum_min);
+    line += ",\"quorum_survivors\":" + std::to_string(s.quorum_survivors);
+    line += ",\"quorum_action\":" + json_str(s.quorum_action);
+    line += ",\"fallback_cmean_rounds\":" +
+            std::to_string(r.fallback_cmean_rounds);
+    line += ",\"fallback_prev_rounds\":" +
+            std::to_string(r.fallback_prev_rounds);
+  }
+  if (r.halted) line += ",\"halted\":true";
   line += ",\"trace_checksum\":" + json_hex(r.trace_checksum);
   if (!r.rounds.empty()) {
     line += ",\"round_checksums\":[";
@@ -420,6 +603,10 @@ std::string summary_table(const std::vector<ScenarioResult>& results) {
     if (s.straggler_prob > 0.0) g += ", strag=" + num(s.straggler_prob);
     if (s.codec != "none") g += ", codec=" + s.codec;
     if (s.shards > 1) g += ", shards=" + std::to_string(s.shards);
+    if (s.fault != "none") g += ", fault=" + s.fault;
+    if (s.deadline_ms > 0.0) g += ", dl=" + num(s.deadline_ms);
+    if (s.churn > 0.0) g += ", churn=" + num(s.churn);
+    if (s.quorum_active()) g += ", qmin=" + std::to_string(s.quorum_min);
     g += ", rounds=" + std::to_string(r.resolved_rounds);
     g += ", n=" + std::to_string(r.resolved_clients);
     g += ", seed=" + std::to_string(s.seed) + ")";

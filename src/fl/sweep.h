@@ -56,9 +56,33 @@ struct ScenarioSpec {
   // ids, RNG streams and golden traces byte-for-byte.
   std::size_t shards = 1;
   std::string shard_merge = "wmean";
+  // Chaos axis (fl/chaos.h): fault profile name ("none", "lan", "wan",
+  // "flaky", "mobile"), per-round uplink deadline (0 = unbounded) and
+  // session churn (leave probability per up-round; absence lengths are
+  // geometric with the given mean). All three default to off, and the
+  // whole axis is gated out of ids / JSONL exactly like codec/shards, so
+  // existing scenarios keep their bytes.
+  std::string fault = "none";
+  double deadline_ms = 0.0;
+  double churn = 0.0;
+  double churn_absence = 2.0;
+  // Quorum degradation axis (fl/chaos.h): minimum gradients reaching the
+  // aggregator / minimum post-filter survivors before the round degrades
+  // per `quorum_action` ("cmean" | "prev" | "skip"). Both zero = policy
+  // off (pre-quorum behavior, bytes included).
+  std::size_t quorum_min = 0;
+  std::size_t quorum_survivors = 0;
+  std::string quorum_action = "cmean";
   std::size_t rounds = 0;            // 0 = workload default for the scale
   std::size_t n_clients = 0;         // 0 = workload default
   std::uint64_t seed = 7;
+
+  bool chaos_active() const {
+    return fault != "none" || deadline_ms > 0.0 || churn > 0.0;
+  }
+  bool quorum_active() const {
+    return quorum_min > 0 || quorum_survivors > 0;
+  }
 
   // Canonical key: total order over scenarios and the root of the
   // scenario's RNG stream. Two specs with equal ids are the same
@@ -93,6 +117,16 @@ struct SweepGrid {
   // grid-wide scalar, same rationale as codec_chunk.
   std::vector<std::size_t> shard_counts = {1};
   std::string shard_merge = "wmean";
+  // Chaos axes: one scenario per (fault profile, deadline, churn) triple.
+  // The absence mean and the whole quorum policy are grid-wide scalars,
+  // same rationale as codec_chunk.
+  std::vector<std::string> faults = {"none"};
+  std::vector<double> deadlines = {0.0};
+  std::vector<double> churns = {0.0};
+  double churn_absence = 2.0;
+  std::size_t quorum_min = 0;
+  std::size_t quorum_survivors = 0;
+  std::string quorum_action = "cmean";
   std::size_t rounds = 0;
   std::size_t n_clients = 0;
   std::uint64_t seed = 7;
@@ -122,6 +156,19 @@ struct RoundTrace {
   // scenarios keep the pinned golden fold word set.
   std::size_t shards = 0;
   std::size_t shard_survivor_sum = 0;
+  // Chaos accounting, folded into the trace checksum only when the
+  // scenario runs the chaos engine (`chaos` below) — same golden-trace
+  // gating as the shard words.
+  std::size_t churned = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t lost_uplinks = 0;
+  std::uint64_t uplink_attempts = 0;
+  double sim_round_ms = 0.0;
+  // Degradation outcome; folded only when a quorum policy is active
+  // (`quorum` below) — without one the outcome is implied by `skipped`.
+  RoundOutcome outcome = RoundOutcome::kProceed;
+  bool chaos = false;   // fold gate: scenario ran with the chaos engine
+  bool quorum = false;  // fold gate: scenario ran with a quorum policy
   std::optional<double> test_accuracy;
   bool skipped = false;
 };
@@ -158,6 +205,18 @@ struct ScenarioResult {
   // the field the SIGNGUARD_WIREPATH=wire backend drives down. Expected
   // to differ across backends; the CI wire/decode diff strips it.
   std::uint64_t uplink_decoded_bytes = 0;
+  // Chaos / degradation accounting over the run (all zero with the axes
+  // off; the JSONL blocks are gated accordingly).
+  std::size_t churned_total = 0;
+  std::size_t deadline_miss_total = 0;
+  std::size_t lost_uplink_total = 0;
+  std::uint64_t uplink_attempts = 0;
+  double sim_time_ms = 0.0;
+  std::size_t fallback_cmean_rounds = 0;
+  std::size_t fallback_prev_rounds = 0;
+  // True when the scenario stopped at SweepOptions::halt_after_round (the
+  // simulated-kill switch) instead of finishing its rounds.
+  bool halted = false;
   std::vector<RoundTrace> rounds;     // empty unless capture_rounds
 
   // Non-deterministic timing; excluded from JSONL unless include_timing.
@@ -177,6 +236,18 @@ struct SweepOptions {
   std::function<void(std::size_t done, std::size_t total,
                      const ScenarioResult&)>
       progress;
+  // Crash-consistent sweep checkpointing (fl/checkpoint.h). Non-empty
+  // checkpoint_dir gives every scenario its own file in that directory
+  // (named by the FNV-1a64 of its id), carrying the full trainer state
+  // plus the engine's observer fold — a resumed scenario emits
+  // byte-identical JSONL. halt_after_round is the simulated kill for
+  // crash-recovery tests: scenarios stop cleanly after that many rounds
+  // with ScenarioResult::halted set; rerunning with `resume` continues
+  // them from their latest checkpoint.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t halt_after_round = 0;
 };
 
 // Runs every scenario concurrently on the common::parallel pool and

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -11,7 +12,10 @@
 #include "comm/stats.h"
 #include "comm/wire.h"
 #include "common/gradient_matrix.h"
+#include "common/hash.h"
 #include "common/parallel.h"
+#include "common/vecops.h"
+#include "core/filters.h"
 #include "core/signguard.h"
 #include "fl/client.h"
 #include "fl/server.h"
@@ -39,6 +43,10 @@ Trainer::Trainer(const data::TrainTest& data, ModelFactory model_factory,
         "TrainerConfig: dropout_prob / straggler_prob must be in [0, 1]");
   if (cfg_.rounds == 0)
     throw std::invalid_argument("TrainerConfig: rounds must be > 0");
+  cfg_.chaos.validate();
+  if (cfg_.checkpoint.active() && cfg_.checkpoint.every == 0)
+    throw std::invalid_argument(
+        "TrainerConfig: checkpoint.every must be >= 1 when checkpointing");
   // A degenerate compression spec must also fail here, not mid-round:
   // building the codec is cheap and runs every validation make_codec has.
   comm::make_codec(cfg_.compression);
@@ -89,6 +97,19 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   Rng participation_rng = rng.split();
   Rng failure_rng = rng.split();
 
+  // Chaos engine (fl/chaos.h): seeded from its own keyed stream under the
+  // config seed — never from `rng` — so enabling it leaves every draw
+  // above (and the legacy failure stream) untouched. Its transport faults
+  // need wire buffers, so a non-none profile forces the transport on.
+  const bool chaos_on = cfg_.chaos.active();
+  const bool chaos_transport = chaos_on && !cfg_.chaos.profile.none();
+  std::optional<ChaosEngine> chaos;
+  if (chaos_on)
+    chaos.emplace(n, cfg_.chaos,
+                  common::stream_seed(
+                      cfg_.seed, common::fnv1a64("signguard.chaos")));
+  const bool quorum_on = cfg_.quorum.active();
+
   TrainingResult result;
   // Round buffers, allocated once and reused: the m_round Byzantine rows
   // lead (so selection accounting can attribute them), benign rows
@@ -104,14 +125,15 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   std::vector<std::size_t> byz_sel, benign_sel, benign_late, sampled, active;
   std::vector<attacks::GradientView> benign_views;
 
-  // Uplink transport (src/comm): active when a codec is configured or a
-  // tamper hook wants to exercise the wire path. Every participating
-  // row is encoded into its per-client buffer and decoded back into the
-  // same GradientMatrix row — the server-side view of the round. All
-  // buffers and scratch are allocated once and reused.
+  // Uplink transport (src/comm): active when a codec is configured, a
+  // tamper hook wants to exercise the wire path, or the chaos engine
+  // injects transport faults. Every participating row is encoded into
+  // its per-client buffer and decoded back into the same GradientMatrix
+  // row — the server-side view of the round. All buffers and scratch are
+  // allocated once and reused.
   const bool transport_on =
       cfg_.compression.codec != comm::CodecKind::kNone ||
-      static_cast<bool>(cfg_.uplink_tamper);
+      static_cast<bool>(cfg_.uplink_tamper) || chaos_transport;
   std::unique_ptr<comm::Codec> codec;
   std::vector<std::vector<std::uint8_t>> uplink;          // per round row
   std::vector<std::vector<comm::CodecScratch>> enc_scratch;  // per worker
@@ -133,19 +155,25 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   // decode backend that same decode doubles as the server's).
   // Admission decisions and the aggregate are bitwise identical across
   // the two backends; only the decoded-bytes accounting differs.
+  // An active QuorumPolicy pins the decode backend: its clipped-mean
+  // fallback needs every accepted row materialized.
   auto* const sg = dynamic_cast<core::SignGuard*>(&server.gar());
   const bool wire_filtering =
       transport_on && cfg_.compression.codec != comm::CodecKind::kNone &&
       sg != nullptr && sg->supports_wire_path() &&
-      comm::wire_path() == comm::WirePath::kWire;
+      comm::wire_path() == comm::WirePath::kWire && !quorum_on;
   // Encodes round_grads rows [begin_row, end_row) through the wire —
-  // encode, optional tamper, then either decode back in place
-  // (decode_rows) or validate the buffer without touching the row (the
-  // wire path's Byzantine uplinks) — marking rejects either way.
-  // validate() accepts exactly the buffers decode_into accepts, so the
-  // reject set is backend-independent. client_of maps a row to its
-  // global client id (for the hook). Rows are independent, so the
-  // fan-out is bitwise thread-invariant.
+  // encode, optional tamper, chaos transport corruption, then either
+  // decode back in place (decode_rows) or validate the buffer without
+  // touching the row (the wire path's Byzantine uplinks) — marking
+  // rejects either way. validate() accepts exactly the buffers
+  // decode_into accepts, so the reject set is backend-independent.
+  // client_of maps a row to its global client id (for the hook and the
+  // chaos stream). Rows are independent, and the chaos draws are
+  // stateless in (client, round), so the fan-out is bitwise
+  // thread-invariant.
+  const std::size_t round_sentinel = std::size_t(-1);
+  std::size_t current_round = round_sentinel;
   const auto transport_rows = [&](std::size_t begin_row, std::size_t end_row,
                                   bool decode_rows, auto client_of) {
     if (enc_scratch.size() < common::thread_count())
@@ -158,6 +186,22 @@ TrainingResult Trainer::run(attacks::Attack& attack,
             comm::encode_into(*codec, round_grads.row(t), buf,
                               enc_scratch[worker]);
             if (cfg_.uplink_tamper) cfg_.uplink_tamper(client_of(t), buf);
+            if (chaos_transport) {
+              // Re-derive this uplink's fate from its stateless stream (a
+              // pure function of (client, round) — see fl/chaos.h) and
+              // mangle the bytes of a corrupt arrival. The wire layer's
+              // checksum/framing then rejects it like any hostile buffer.
+              const UplinkSim sim =
+                  chaos->simulate_uplink(client_of(t), current_round);
+              if (sim.delivery == UplinkSim::Delivery::kCorrupt &&
+                  !buf.empty()) {
+                if (sim.corrupt == UplinkSim::Corrupt::kTruncate)
+                  buf.resize(sim.corrupt_pos % buf.size());
+                else
+                  buf[(sim.corrupt_pos / 8) % buf.size()] ^=
+                      std::uint8_t(1) << (sim.corrupt_pos % 8);
+              }
+            }
             const comm::DecodeStatus st =
                 decode_rows ? comm::decode_into(*codec, buf,
                                                 round_grads.row(t))
@@ -167,7 +211,170 @@ TrainingResult Trainer::run(attacks::Attack& attack,
         });
   };
 
-  for (std::size_t round = 0; round < cfg_.rounds; ++round) {
+  // ---- Crash-consistent checkpointing (fl/checkpoint.h) -------------------
+  // The payload carries every piece of mutable cross-round state; the
+  // config hash up front refuses a checkpoint written under a different
+  // configuration (resuming it would silently diverge). The chaos engine
+  // carries no cursor — its draws are stateless in (seed, client, round).
+  const bool ckpt_on = cfg_.checkpoint.active();
+  const std::uint64_t config_hash = [&] {
+    std::string s;
+    const auto add = [&s](const std::string& v) {
+      s += v;
+      s += '|';
+    };
+    add(std::to_string(cfg_.n_clients));
+    add(std::to_string(cfg_.byzantine_frac));
+    add(std::to_string(cfg_.rounds));
+    add(std::to_string(cfg_.batch_size));
+    add(std::to_string(cfg_.lr));
+    add(std::to_string(cfg_.momentum));
+    add(std::to_string(cfg_.client_momentum));
+    add(std::to_string(cfg_.weight_decay));
+    add(std::to_string(cfg_.eval_every));
+    add(std::to_string(cfg_.eval_max_samples));
+    add(std::to_string(cfg_.noniid));
+    add(std::to_string(cfg_.noniid_s));
+    add(std::to_string(cfg_.participation));
+    add(std::to_string(cfg_.dropout_prob));
+    add(std::to_string(cfg_.straggler_prob));
+    add(std::to_string(int(cfg_.compression.codec)));
+    add(std::to_string(cfg_.compression.chunk));
+    add(std::to_string(cfg_.compression.k_fraction));
+    add(cfg_.chaos.profile.name);
+    add(std::to_string(cfg_.chaos.deadline_ms));
+    add(std::to_string(cfg_.chaos.churn_leave_prob));
+    add(std::to_string(cfg_.chaos.churn_mean_absence));
+    add(std::to_string(cfg_.quorum.min_participants));
+    add(std::to_string(cfg_.quorum.min_survivors));
+    add(to_string(cfg_.quorum.action));
+    add(server.gar().name());
+    add(attack.name());
+    add(std::to_string(cfg_.seed));
+    return common::fnv1a64(s);
+  }();
+
+  const auto save_checkpoint = [&](std::size_t next_round) {
+    common::ByteWriter w;
+    w.u64(config_hash);
+    w.u64(next_round);
+    w.floats(server.parameters());
+    w.floats(server.optimizer().velocity());
+    w.floats(server.last_aggregate());
+    w.str(attack_rng.state());
+    w.str(gar_rng.state());
+    w.str(participation_rng.state());
+    w.str(failure_rng.state());
+    w.u64(clients.size());
+    for (const Client& c : clients) c.serialize_state(w);
+    w.u64(result.history.size());
+    for (const RoundRecord& rec : result.history) {
+      w.u64(rec.round);
+      w.f64(rec.test_accuracy);
+    }
+    w.f64(result.best_accuracy);
+    w.f64(result.final_accuracy);
+    w.f64(result.selection.honest_rate);
+    w.f64(result.selection.malicious_rate);
+    w.u64(result.selection.rounds);
+    w.u64(result.uplink_bytes);
+    w.u64(result.uplink_dense_bytes);
+    w.u64(result.decode_rejects);
+    w.u64(result.uplink_decoded_bytes);
+    w.u64(result.skipped_rounds);
+    w.u64(result.fallback_cmean_rounds);
+    w.u64(result.fallback_prev_rounds);
+    w.u64(result.churned_total);
+    w.u64(result.deadline_miss_total);
+    w.u64(result.lost_uplink_total);
+    w.u64(result.uplink_attempts);
+    w.f64(result.sim_time_ms);
+    {
+      common::ByteWriter b;
+      server.gar().serialize_state(b);
+      w.str(b.bytes());
+    }
+    {
+      common::ByteWriter b;
+      attack.serialize_state(b);
+      w.str(b.bytes());
+    }
+    {
+      common::ByteWriter b;
+      if (cfg_.checkpoint.save_extra) cfg_.checkpoint.save_extra(b);
+      w.str(b.bytes());
+    }
+    write_checkpoint_file(cfg_.checkpoint.path, w.bytes());
+  };
+
+  const auto load_checkpoint = [&]() -> std::size_t {
+    const std::string payload = read_checkpoint_file(cfg_.checkpoint.path);
+    common::ByteReader r(payload);
+    if (r.u64() != config_hash)
+      throw std::runtime_error(
+          "checkpoint: configuration hash mismatch — the file was written "
+          "by a differently-configured run (" + cfg_.checkpoint.path + ")");
+    const std::size_t next_round = r.u64();
+    std::vector<float> params = r.floats();
+    std::vector<float> velocity = r.floats();
+    std::vector<float> last_agg = r.floats();
+    server.restore(std::move(params), std::move(velocity),
+                   std::move(last_agg));
+    attack_rng.set_state(r.str());
+    gar_rng.set_state(r.str());
+    participation_rng.set_state(r.str());
+    failure_rng.set_state(r.str());
+    if (r.u64() != clients.size())
+      throw std::runtime_error("checkpoint: client count mismatch");
+    for (Client& c : clients) c.restore_state(r);
+    result.history.resize(r.u64());
+    for (RoundRecord& rec : result.history) {
+      rec.round = r.u64();
+      rec.test_accuracy = r.f64();
+    }
+    result.best_accuracy = r.f64();
+    result.final_accuracy = r.f64();
+    result.selection.honest_rate = r.f64();
+    result.selection.malicious_rate = r.f64();
+    result.selection.rounds = r.u64();
+    result.uplink_bytes = r.u64();
+    result.uplink_dense_bytes = r.u64();
+    result.decode_rejects = r.u64();
+    result.uplink_decoded_bytes = r.u64();
+    result.skipped_rounds = r.u64();
+    result.fallback_cmean_rounds = r.u64();
+    result.fallback_prev_rounds = r.u64();
+    result.churned_total = r.u64();
+    result.deadline_miss_total = r.u64();
+    result.lost_uplink_total = r.u64();
+    result.uplink_attempts = r.u64();
+    result.sim_time_ms = r.f64();
+    {
+      const std::string blob = r.str();
+      common::ByteReader b(blob);
+      server.gar().restore_state(b);
+    }
+    {
+      const std::string blob = r.str();
+      common::ByteReader b(blob);
+      attack.restore_state(b);
+    }
+    {
+      const std::string blob = r.str();
+      common::ByteReader b(blob);
+      if (cfg_.checkpoint.load_extra) cfg_.checkpoint.load_extra(b);
+    }
+    return next_round;
+  };
+
+  std::size_t start_round = 0;
+  if (ckpt_on && cfg_.checkpoint.resume &&
+      checkpoint_exists(cfg_.checkpoint.path))
+    start_round = load_checkpoint();
+
+  // ---- One synchronous round ----------------------------------------------
+  const auto run_round = [&](std::size_t round) {
+    current_round = round;
     attack.begin_round(round, attack_rng);
     const bool flip = attack.flips_labels();
 
@@ -188,11 +395,13 @@ TrainingResult Trainer::run(attacks::Attack& attack,
         (i < m ? byz_sel : benign_sel).push_back(i);
     }
 
-    // Failure injection, drawn sequentially from a dedicated stream so
-    // the outcome is a pure function of the seed. A dropped client misses
-    // the round entirely; a benign straggler still trains (into
-    // late_grads) but its update is discarded; a Byzantine straggler's
-    // crafted update simply never reaches the server.
+    // Legacy failure injection, drawn sequentially from a dedicated
+    // stream so the outcome is a pure function of the seed. The two coins
+    // are sequential (see trainer.h): dropout first, straggler only for
+    // survivors, so every selected client lands in exactly one state. A
+    // dropped client misses the round entirely; a benign straggler still
+    // trains (into late_grads) but its update is discarded; a Byzantine
+    // straggler's crafted update simply never reaches the server.
     std::size_t n_dropped = 0, n_straggler = 0;
     benign_late.clear();
     if (cfg_.dropout_prob > 0.0 || cfg_.straggler_prob > 0.0) {
@@ -217,6 +426,81 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       sift(byz_sel, /*benign=*/false);
       sift(benign_sel, /*benign=*/true);
     }
+
+    // Chaos sift, layered after the legacy coins: churned clients miss
+    // the round entirely; the survivors' uplinks are simulated (latency x
+    // retries vs deadline). A late or lost uplink means the client DID
+    // train — its state advances exactly like a legacy straggler's — but
+    // no update reaches the aggregator. Corrupt arrivals stay active
+    // here; the wire decode below rejects their mangled bytes.
+    std::size_t n_churned = 0, n_deadline = 0, n_lost = 0;
+    std::size_t transmitters = 0;
+    std::uint64_t attempts_total = 0;
+    double slowest_ms = 0.0;
+    bool uplink_missing = false;
+    if (chaos_on) {
+      auto chaos_sift = [&](std::vector<std::size_t>& sel, bool benign) {
+        active.clear();
+        for (const std::size_t i : sel) {
+          if (!chaos->client_up(i, round)) {
+            ++n_churned;
+            continue;
+          }
+          const UplinkSim sim = chaos->simulate_uplink(i, round);
+          ++transmitters;
+          attempts_total += sim.attempts;
+          slowest_ms = std::max(slowest_ms, sim.elapsed_ms);
+          switch (sim.delivery) {
+            case UplinkSim::Delivery::kOnTime:
+            case UplinkSim::Delivery::kCorrupt:
+              active.push_back(i);
+              break;
+            case UplinkSim::Delivery::kLate:
+              ++n_deadline;
+              ++n_straggler;
+              uplink_missing = true;
+              if (benign) benign_late.push_back(i);
+              break;
+            case UplinkSim::Delivery::kLost:
+              ++n_lost;
+              uplink_missing = true;
+              if (benign) benign_late.push_back(i);
+              break;
+          }
+        }
+        std::swap(sel, active);
+      };
+      chaos_sift(byz_sel, /*benign=*/false);
+      chaos_sift(benign_sel, /*benign=*/true);
+    }
+    // Simulated round wall-clock: the server closes the round at the
+    // deadline when anyone is still missing, else at the slowest arrival.
+    const double round_ms = (cfg_.chaos.deadline_ms > 0.0 && uplink_missing)
+                                ? cfg_.chaos.deadline_ms
+                                : slowest_ms;
+    if (chaos_on) {
+      result.churned_total += n_churned;
+      result.deadline_miss_total += n_deadline;
+      result.lost_uplink_total += n_lost;
+      result.uplink_attempts += attempts_total;
+      result.sim_time_ms += round_ms;
+    }
+    const auto fill_chaos = [&](RoundObservation& obs) {
+      if (!chaos_on) return;
+      obs.churned = n_churned;
+      obs.deadline_misses = n_deadline;
+      obs.lost_uplinks = n_lost;
+      obs.uplink_attempts = attempts_total;
+      obs.sim_round_ms = round_ms;
+    };
+    // Under chaos transport every post-churn client transmitted (retries
+    // included), whether or not its update was ultimately usable — so the
+    // byte accounting is attempts-based and uniform across the normal and
+    // skip paths below.
+    const std::uint64_t chaos_sent_bytes = attempts_total * wire_bytes;
+    const std::uint64_t chaos_dense_bytes =
+        std::uint64_t(transmitters) * dim * 4;
+
     const std::size_t n_round = byz_sel.size() + benign_sel.size();
     const std::size_t m_round = byz_sel.size();
 
@@ -264,6 +548,11 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       // training above still ran for every active / straggling client, so
       // a client's state evolution depends only on its own fate, never on
       // what happened to the others this round.
+      ++result.skipped_rounds;
+      if (chaos_transport) {
+        result.uplink_bytes += chaos_sent_bytes;
+        result.uplink_dense_bytes += chaos_dense_bytes;
+      }
       if (observer) {
         RoundObservation obs;
         obs.round = round;
@@ -271,15 +560,22 @@ TrainingResult Trainer::run(attacks::Attack& attack,
         obs.dropped = n_dropped;
         obs.stragglers = n_straggler;
         obs.skipped = true;
+        obs.outcome = RoundOutcome::kSkippedNoHonest;
+        fill_chaos(obs);
+        if (chaos_transport) {
+          obs.uplink_bytes = chaos_sent_bytes;
+          obs.uplink_dense_bytes = chaos_dense_bytes;
+        }
         observer(obs);
       }
-      continue;
+      return;
     }
 
     // Benign uplinks go through the wire first: what the attacker gets
     // to observe — and what the server aggregates — is the decoded
     // (post-compression) view of every honest gradient. A benign uplink
-    // only fails to decode under the tamper hook.
+    // only fails to decode under the tamper hook or a chaos-corrupted
+    // arrival.
     std::size_t benign_rejects = 0;
     if (transport_on) {
       rejected.assign(n_round, 0);
@@ -290,12 +586,18 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       if (benign_rejects == n_round - m_round) {
         // Every honest uplink was rejected: nothing trustworthy reached
         // the server, so the round is skipped like a fully-dropped one.
-        // The Byzantine rows were never transported, so only the benign
-        // uplinks' bytes were spent.
+        // Without chaos the Byzantine rows were never transported, so
+        // only the benign uplinks' bytes were spent.
         const std::uint64_t sent = n_round - m_round;
-        result.uplink_bytes += sent * wire_bytes;
-        result.uplink_dense_bytes += sent * std::uint64_t(dim) * 4;
+        const std::uint64_t sent_bytes =
+            chaos_transport ? chaos_sent_bytes : sent * wire_bytes;
+        const std::uint64_t dense_bytes =
+            chaos_transport ? chaos_dense_bytes
+                            : sent * std::uint64_t(dim) * 4;
+        result.uplink_bytes += sent_bytes;
+        result.uplink_dense_bytes += dense_bytes;
         result.decode_rejects += benign_rejects;
+        ++result.skipped_rounds;
         if (observer) {
           RoundObservation obs;
           obs.round = round;
@@ -303,12 +605,14 @@ TrainingResult Trainer::run(attacks::Attack& attack,
           obs.dropped = n_dropped;
           obs.stragglers = n_straggler;
           obs.decode_rejects = benign_rejects;
-          obs.uplink_bytes = sent * wire_bytes;
-          obs.uplink_dense_bytes = sent * std::uint64_t(dim) * 4;
+          obs.uplink_bytes = sent_bytes;
+          obs.uplink_dense_bytes = dense_bytes;
           obs.skipped = true;
+          obs.outcome = RoundOutcome::kSkippedNoHonest;
+          fill_chaos(obs);
           observer(obs);
         }
-        continue;
+        return;
       }
     }
 
@@ -397,7 +701,75 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     // the wire path.
     std::uint64_t decoded_bytes = 0;
     const std::vector<float>* agg_ptr = nullptr;
-    if (wire_filtering) {
+    RoundOutcome outcome = RoundOutcome::kProceed;
+    if (quorum_on) {
+      // Quorum-policed aggregation (fl/chaos.h): same GAR + optimizer
+      // sequence as server.step(), but the aggregate is only applied
+      // after the pre- and post-filter quorums pass; otherwise the round
+      // degrades down the policy's fallback chain.
+      if (transport_on) decoded_bytes = std::uint64_t(n_eff) * dim * 4;
+      bool have = false;
+      std::vector<float> agg;
+      if (n_eff >= cfg_.quorum.min_participants) {
+        try {
+          agg = server.gar().aggregate(round_grads, gctx);
+          have = true;
+        } catch (const std::exception&) {
+          // A starved rule (e.g. Bulyan's n >= 4m+3) degrades instead of
+          // aborting the run.
+          have = false;
+        }
+        if (have && cfg_.quorum.min_survivors > 0 &&
+            server.gar().reports_selection() &&
+            server.gar().last_selected().size() < cfg_.quorum.min_survivors)
+          have = false;
+      }
+      if (have) {
+        agg_ptr = &server.apply_aggregate(std::move(agg));
+      } else {
+        DegradeAction act = cfg_.quorum.action;
+        if (act == DegradeAction::kClippedMean) {
+          // Norm-clipped mean over the finite-norm accepted rows, with
+          // their median norm as the bound — SignGuard's own aggregation
+          // step minus its filters. Falls through when nothing finite
+          // arrived.
+          const std::vector<double> norms = vec::row_norms(round_grads);
+          std::vector<std::size_t> finite;
+          std::vector<double> fnorms;
+          for (std::size_t i = 0; i < n_eff; ++i)
+            if (std::isfinite(norms[i])) {
+              finite.push_back(i);
+              fnorms.push_back(norms[i]);
+            }
+          if (!finite.empty()) {
+            std::sort(fnorms.begin(), fnorms.end());
+            const std::size_t mid = fnorms.size() / 2;
+            const double median =
+                fnorms.size() % 2 == 1
+                    ? fnorms[mid]
+                    : 0.5 * (fnorms[mid - 1] + fnorms[mid]);
+            agg_ptr = &server.apply_aggregate(
+                core::clipped_mean(round_grads, finite, median,
+                                   /*clip=*/true, norms));
+            outcome = RoundOutcome::kFallbackClippedMean;
+            ++result.fallback_cmean_rounds;
+          } else {
+            act = DegradeAction::kPrevAggregate;
+          }
+        }
+        if (agg_ptr == nullptr && act == DegradeAction::kPrevAggregate) {
+          if (!server.last_aggregate().empty()) {
+            // Replay the previous round's aggregate (copy first:
+            // apply_aggregate overwrites the buffer being read).
+            std::vector<float> prev = server.last_aggregate();
+            agg_ptr = &server.apply_aggregate(std::move(prev));
+            outcome = RoundOutcome::kFallbackPrevAggregate;
+            ++result.fallback_prev_rounds;
+          }
+        }
+        if (agg_ptr == nullptr) outcome = RoundOutcome::kSkippedQuorum;
+      }
+    } else if (wire_filtering) {
       comm::WireRound wr;
       wr.codec = codec.get();
       wr.uplinks = std::span<const std::vector<std::uint8_t>>(
@@ -409,39 +781,57 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       agg_ptr = &server.step(round_grads, gctx);
       if (transport_on) decoded_bytes = std::uint64_t(n_eff) * dim * 4;
     }
-    const std::vector<float>& aggregate = *agg_ptr;
 
-    // Selection accounting (only meaningful for selecting rules).
-    const auto selected = server.gar().last_selected();
-    if (!selected.empty())
-      result.selection.accumulate(selected, m_eff, n_eff);
+    // Selection accounting (only meaningful for selecting rules, and only
+    // on rounds where the rule's aggregate was actually applied).
+    std::vector<std::size_t> selected;
+    if (outcome == RoundOutcome::kProceed) {
+      selected = server.gar().last_selected();
+      if (!selected.empty())
+        result.selection.accumulate(selected, m_eff, n_eff);
+    }
 
     // Periodic evaluation (always evaluate the final round).
     RoundObservation obs;
     obs.round = round;
     obs.attack_name = attack.name();
-    obs.aggregate = aggregate;
     obs.selected = selected;
     obs.participants = n_eff;
     obs.byzantine = m_eff;
     obs.dropped = n_dropped;
     obs.stragglers = n_straggler;
-    if (const auto* sharded =
-            dynamic_cast<const agg::ShardedAggregator*>(&server.gar())) {
-      obs.shards = sharded->last_shards();
-      obs.shard_survivors = sharded->last_shard_survivors();
+    obs.outcome = outcome;
+    fill_chaos(obs);
+    if (agg_ptr != nullptr) {
+      obs.aggregate = *agg_ptr;
+    } else {
+      obs.skipped = true;
+      ++result.skipped_rounds;
+    }
+    if (outcome == RoundOutcome::kProceed) {
+      if (const auto* sharded =
+              dynamic_cast<const agg::ShardedAggregator*>(&server.gar())) {
+        obs.shards = sharded->last_shards();
+        obs.shard_survivors = sharded->last_shard_survivors();
+      }
     }
     if (transport_on) {
       obs.decode_rejects = round_rejects;
-      obs.uplink_bytes = n_round * wire_bytes;
-      obs.uplink_dense_bytes = std::uint64_t(n_round) * dim * 4;
+      if (chaos_transport) {
+        obs.uplink_bytes = chaos_sent_bytes;
+        obs.uplink_dense_bytes = chaos_dense_bytes;
+      } else {
+        obs.uplink_bytes = n_round * wire_bytes;
+        obs.uplink_dense_bytes = std::uint64_t(n_round) * dim * 4;
+      }
       obs.uplink_decoded_bytes = decoded_bytes;
       result.uplink_bytes += obs.uplink_bytes;
       result.uplink_dense_bytes += obs.uplink_dense_bytes;
       result.decode_rejects += round_rejects;
       result.uplink_decoded_bytes += decoded_bytes;
     }
-    if ((round + 1) % cfg_.eval_every == 0 || round + 1 == cfg_.rounds) {
+    if (agg_ptr != nullptr &&
+        ((round + 1) % cfg_.eval_every == 0 || round + 1 == cfg_.rounds)) {
       model.set_parameters(server.parameters());
       const double acc = evaluate_accuracy(model, data_.test, 256,
                                            cfg_.eval_max_samples);
@@ -451,6 +841,24 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       obs.test_accuracy = acc;
     }
     if (observer) observer(obs);
+  };
+
+  for (std::size_t round = start_round; round < cfg_.rounds; ++round) {
+    run_round(round);
+    // Checkpoint AFTER the round completes (skipped rounds included), so
+    // a resume replays from a round boundary; the final round's state is
+    // not worth a file. The halt switch simulates a crash right after
+    // the round — deliberately without forcing a save, exactly like a
+    // real kill between checkpoints.
+    if (ckpt_on && (round + 1) % cfg_.checkpoint.every == 0 &&
+        round + 1 < cfg_.rounds)
+      save_checkpoint(round + 1);
+    if (cfg_.checkpoint.halt_after_round > 0 &&
+        round + 1 >= cfg_.checkpoint.halt_after_round &&
+        round + 1 < cfg_.rounds) {
+      result.halted = true;
+      break;
+    }
   }
   return result;
 }

@@ -18,6 +18,8 @@
 #include "comm/codec.h"
 #include "data/partition.h"
 #include "data/synth_image.h"  // TrainTest
+#include "fl/chaos.h"
+#include "fl/checkpoint.h"
 #include "fl/metrics.h"
 #include "nn/model.h"
 
@@ -44,13 +46,44 @@ struct TrainerConfig {
   // (0, 1]; when the sampled count rounds to zero it is clamped to one
   // client.
   double participation = 1.0;
-  // Failure injection (per selected client, per round, from a dedicated
-  // RNG stream). dropout: the client misses the round entirely (no local
-  // work, no state change). straggler: the client trains — its batch
-  // sampling, momentum buffer and loss stats advance — but the update
-  // arrives too late and is discarded before aggregation.
+  // Legacy failure injection (per selected client, per round, from a
+  // dedicated RNG stream). dropout: the client misses the round entirely
+  // (no local work, no state change). straggler: the client trains — its
+  // batch sampling, momentum buffer and loss stats advance — but the
+  // update arrives too late and is discarded before aggregation.
+  //
+  // Joint semantics: the two coins are SEQUENTIAL, not independent — the
+  // dropout coin is flipped first, and the straggler coin only for
+  // clients that survived it. Each selected client therefore lands in
+  // exactly one of three states per round:
+  //   dropped    with probability  p_drop
+  //   straggler  with probability  (1 - p_drop) * p_strag
+  //   active     with probability  (1 - p_drop) * (1 - p_strag)
+  // so any (p_drop, p_strag) pair in [0, 1]^2 is meaningful (no "dropped
+  // AND straggling" state, no constraint on the sum), and the expected
+  // active fraction is the product of the survival probabilities.
+  // tests/test_chaos.cc pins both the rates and the exactly-one-state
+  // partition. A coin with probability zero is never flipped — the
+  // stream advances only for the coins actually in play.
   double dropout_prob = 0.0;
   double straggler_prob = 0.0;
+  // Chaos engine (fl/chaos.h): latency/churn/transport-fault injection
+  // with retry-and-deadline uplinks. Inactive by default; when active it
+  // layers ON TOP of the legacy coins above (legacy sift first, then
+  // churn/uplink simulation for the survivors) and forces the uplink
+  // transport on — a simulated retransmission needs wire buffers even
+  // under the kNone codec.
+  ChaosConfig chaos;
+  // Quorum degradation policy (fl/chaos.h). Inactive by default: a
+  // quorum-starved or filter-empty round then behaves exactly as before
+  // (the GAR aggregates whatever arrived). When active, the trainer
+  // checks min_participants before aggregation and min_survivors after a
+  // selecting rule, and degrades per the policy's action instead of
+  // proceeding; a GAR that throws on its input degrades the round too.
+  QuorumPolicy quorum;
+  // Crash-consistent checkpoint/restore (fl/checkpoint.h). Inactive by
+  // default.
+  CheckpointConfig checkpoint;
   // Uplink transport (src/comm): every participating client's gradient is
   // encoded into a per-client wire buffer and the server decodes it
   // straight into the round GradientMatrix row. The default codec kNone
@@ -111,7 +144,18 @@ struct RoundObservation {
   // lifetime as the other spans.
   std::size_t shards = 0;
   std::span<const std::size_t> shard_survivors;
-  bool skipped = false;          // no honest participant -> no aggregation
+  // Chaos accounting (all zero while the chaos engine is off).
+  std::size_t churned = 0;          // selected clients absent to churn
+  std::size_t deadline_misses = 0;  // uplinks late past the deadline
+  std::size_t lost_uplinks = 0;     // uplinks dropped on every attempt
+  std::uint64_t uplink_attempts = 0;  // transmissions incl. retries
+  // Simulated wall-clock of the round's uplink phase: the deadline when
+  // any transmitter ran past it, else the slowest transmitter's time.
+  double sim_round_ms = 0.0;
+  // Degradation outcome (kProceed on every normal round; the fallback /
+  // quorum-skip values only occur with an active QuorumPolicy).
+  RoundOutcome outcome = RoundOutcome::kProceed;
+  bool skipped = false;          // no aggregate applied this round
 };
 using RoundObserver = std::function<void(const RoundObservation&)>;
 

@@ -23,6 +23,11 @@ class SgdMomentum {
   double lr() const { return lr_; }
   void reset() { velocity_.clear(); }
 
+  // Momentum buffer snapshot/restore for crash-consistent checkpoints
+  // (fl/checkpoint.h). Empty means "no step taken yet".
+  const std::vector<float>& velocity() const { return velocity_; }
+  void set_velocity(std::vector<float> v) { velocity_ = std::move(v); }
+
  private:
   double lr_;
   double momentum_;
