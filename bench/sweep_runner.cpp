@@ -49,6 +49,9 @@ Grid axes (comma-separated lists; one scenario per combination):
   --faults=LIST         %s  [none]
   --deadline=LIST       uplink deadlines, ms (0 = unbounded)  [0]
   --churn=LIST          churn leave probability      [0.0]
+  --adaptive=LIST       0|1: feedback-driven amplitude adaptation  [0]
+  --wirecraft=LIST      0|1: codec-aware wire crafting             [0]
+  --collude=LIST        chaos-colluding base fraction (0 = off)    [0]
 
 Grid-wide scalars:
   --profile=grid|paper  model profile                [grid]
@@ -93,6 +96,12 @@ std::vector<double> parse_skews(const std::vector<std::string>& items) {
 std::vector<double> parse_doubles(const std::vector<std::string>& items) {
   std::vector<double> out;
   for (const auto& s : items) out.push_back(std::atof(s.c_str()));
+  return out;
+}
+
+std::vector<bool> parse_bools(const std::vector<std::string>& items) {
+  std::vector<bool> out;
+  for (const auto& s : items) out.push_back(s != "0" && s != "false");
   return out;
 }
 
@@ -165,6 +174,14 @@ int main(int argc, char** argv) {
       bench::split_csv(bench::arg_value(argc, argv, "deadline", "0")));
   grid.churns = parse_doubles(
       bench::split_csv(bench::arg_value(argc, argv, "churn", "0")));
+  // Adversary axes (src/attacks/adaptive.h, wirecraft.h): wrappers
+  // around each scenario's base attack, gated out of ids/JSONL when off.
+  grid.adaptives = parse_bools(
+      bench::split_csv(bench::arg_value(argc, argv, "adaptive", "0")));
+  grid.wirecrafts = parse_bools(
+      bench::split_csv(bench::arg_value(argc, argv, "wirecraft", "0")));
+  grid.colludes = parse_doubles(
+      bench::split_csv(bench::arg_value(argc, argv, "collude", "0")));
   grid.churn_absence = std::atof(
       bench::arg_value(argc, argv, "churn-absence", "2.0").c_str());
   grid.quorum_min = std::strtoull(

@@ -32,6 +32,36 @@ namespace signguard::attacks {
 // A borrowed, read-only client gradient (usually a GradientMatrix row).
 using GradientView = std::span<const float>;
 
+// Per-round feedback the trainer hands back to the attack after
+// aggregation — the adaptive adversary's observation channel. The threat
+// model behind each field: colluding clients see the broadcast global
+// update (`aggregate`), know which of their own updates made the trusted
+// set when the rule publishes one (selection is observable through the
+// update's effect), and share round metadata. Nothing here exposes
+// honest clients' private data beyond what §IV-A already grants the
+// omniscient attacker.
+//
+// `aggregate` borrows the trainer's round buffer and is only valid for
+// the duration of the observe_round() call.
+struct RoundFeedback {
+  std::size_t round = 0;
+  std::size_t participants = 0;        // updates that reached the GAR
+  std::size_t byzantine = 0;           // Byzantine updates among them
+  // Trusted-set feedback, meaningful only when has_selection: the rule
+  // reported a selection this round (Krum/Bulyan/DnC/SignGuard on a
+  // normally-aggregated round). Coordinate-wise rules leave it false.
+  bool has_selection = false;
+  std::size_t selected = 0;            // trusted-set size
+  std::size_t selected_byzantine = 0;  // Byzantine updates admitted
+  std::size_t decode_rejects = 0;      // uplinks the wire refused
+  bool skipped = false;                // no aggregate applied this round
+  // The round left the normal path (any RoundOutcome other than
+  // kProceed): a quorum fallback, a quorum skip, or a no-honest skip.
+  // The chaos-colluding scheduler keys its bursts off this.
+  bool degraded = false;
+  std::span<const float> aggregate;    // post-GAR, pre-momentum; may be empty
+};
+
 struct AttackContext {
   std::span<const GradientView> benign_grads;
   std::span<const GradientView> byz_honest_grads;
@@ -71,6 +101,13 @@ class Attack {
   virtual bool flips_labels() const { return false; }
   virtual std::vector<std::vector<float>> craft(const AttackContext& ctx) = 0;
   virtual std::string name() const = 0;
+
+  // Called by the trainer after every round — including skipped and
+  // degraded ones — with what the colluding clients could observe.
+  // Static attacks ignore it; adaptive attacks (attacks/adaptive.h) close
+  // their feedback loop here. Any state mutated here must be covered by
+  // serialize_state so kill+resume replays identically.
+  virtual void observe_round(const RoundFeedback& /*fb*/) {}
 
   // Cross-round state snapshot/restore for crash-consistent checkpoints
   // (fl/checkpoint.h). Every in-tree attack except TimeVaryingAttack is

@@ -1,7 +1,7 @@
 #include "attacks/byzmean.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "attacks/lie.h"
 #include "common/vecops.h"
@@ -11,7 +11,12 @@ namespace signguard::attacks {
 ByzMeanAttack::ByzMeanAttack(std::unique_ptr<Attack> inner,
                              double m1_fraction)
     : inner_(inner ? std::move(inner) : std::make_unique<LieAttack>(0.3)),
-      m1_fraction_(m1_fraction) {}
+      m1_fraction_(m1_fraction) {
+  // NaN fails both comparisons, so it is rejected here too.
+  if (!(m1_fraction_ >= 0.0) || !(m1_fraction_ <= 1.0))
+    throw std::invalid_argument(
+        "ByzMeanAttack: m1_fraction must be in [0, 1]");
+}
 
 void ByzMeanAttack::begin_round(std::size_t round, Rng& rng) {
   inner_->begin_round(round, rng);
@@ -22,6 +27,12 @@ std::vector<std::vector<float>> ByzMeanAttack::craft(
   const std::size_t m = ctx.n_byzantine;
   const std::size_t n = ctx.n_total;
   if (m == 0) return {};
+  // Eq. (8) steers the mean of all n gradients relative to the benign
+  // sum; with no benign gradients the construction (and the inner LIE
+  // vector) is undefined.
+  if (ctx.benign_grads.empty())
+    throw std::invalid_argument(
+        "ByzMeanAttack: craft with no benign gradients");
   // Eq. (8) needs both groups non-empty (m >= 2); with a single Byzantine
   // client the hybrid degenerates to the inner attack alone.
   if (m == 1) return inner_->craft(ctx);
@@ -35,7 +46,9 @@ std::vector<std::vector<float>> ByzMeanAttack::craft(
   inner_ctx.n_byzantine = m1;
   inner_ctx.byz_honest_grads = ctx.byz_honest_grads.subspan(0, m1);
   auto inner_out = inner_->craft(inner_ctx);
-  assert(!inner_out.empty());
+  if (inner_out.empty())
+    throw std::logic_error(
+        "ByzMeanAttack: inner attack produced no gradient for group 1");
   const std::vector<float>& gm1 = inner_out.front();
 
   // g_m2 per Eq. (8): ((n - m1) * g_m1 - sum(benign)) / m2.

@@ -1,7 +1,7 @@
 #include "attacks/lie.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/vecops.h"
 
@@ -12,7 +12,10 @@ double standard_normal_cdf(double z) {
 }
 
 double LieAttack::z_max(std::size_t n, std::size_t m) {
-  assert(n > m);
+  // Eq. (2) divides by n - m; an all-byzantine cohort has no supremum.
+  if (n <= m)
+    throw std::invalid_argument(
+        "LieAttack::z_max: requires n > m (some benign clients)");
   const double s =
       (double(n) - std::floor(double(n) / 2.0 + 1.0)) / double(n - m);
   // Largest z with Phi(z) < s  ==  Phi^{-1}(s), found by bisection. The
@@ -32,7 +35,10 @@ double LieAttack::z_max(std::size_t n, std::size_t m) {
 
 std::vector<float> LieAttack::craft_vector(
     std::span<const GradientView> benign_grads, double z) {
-  assert(!benign_grads.empty());
+  if (benign_grads.empty())
+    throw std::invalid_argument(
+        "LieAttack::craft_vector: benign set is empty — Eq. (1) has no "
+        "mean/stddev to perturb");
   const auto moments = vec::coordinate_moments(benign_grads);
   std::vector<float> g(moments.mean.size());
   for (std::size_t j = 0; j < g.size(); ++j)
@@ -49,6 +55,7 @@ std::vector<float> LieAttack::craft_vector(
 }
 
 std::vector<std::vector<float>> LieAttack::craft(const AttackContext& ctx) {
+  if (ctx.n_byzantine == 0) return {};
   const double z =
       z_ > 0.0 ? z_ : z_max(ctx.n_total, ctx.n_byzantine);
   const auto gm = craft_vector(ctx.benign_grads, z);

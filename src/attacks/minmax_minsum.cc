@@ -1,7 +1,7 @@
 #include "attacks/minmax_minsum.h"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 #include "common/vecops.h"
 
@@ -9,7 +9,10 @@ namespace signguard::attacks {
 
 std::vector<float> make_perturbation(std::span<const GradientView> benign,
                                      Perturbation p) {
-  assert(!benign.empty());
+  if (benign.empty())
+    throw std::invalid_argument(
+        "make_perturbation: benign set is empty — the perturbation "
+        "direction is undefined");
   switch (p) {
     case Perturbation::kInverseStd: {
       const auto moments = vec::coordinate_moments(benign);
@@ -54,7 +57,13 @@ namespace {
 std::vector<std::vector<float>> craft_perturbed(
     const AttackContext& ctx, Perturbation perturbation, bool min_max,
     double& gamma_out) {
-  assert(!ctx.benign_grads.empty());
+  if (ctx.n_byzantine == 0) return {};
+  // All-byzantine / empty-honest round: Eqs. (14)/(15) constrain the
+  // crafted gradient against the benign clique, which does not exist.
+  if (ctx.benign_grads.empty())
+    throw std::invalid_argument(
+        "MinMax/MinSum: craft with no benign gradients — the feasibility "
+        "constraint is undefined");
   const auto avg = vec::mean_of(ctx.benign_grads);
   const auto dp = make_perturbation(ctx.benign_grads, perturbation);
   const std::size_t nb = ctx.benign_grads.size();

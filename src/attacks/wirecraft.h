@@ -1,0 +1,69 @@
+#pragma once
+// Codec-aware wire-crafting attacks: malicious payloads engineered
+// against the frozen wire format (comm/codec.h) rather than against the
+// aggregation rule. PR 5/6's adversarial-decode corpus proves the server
+// rejects *hostile* bytes; the attackers here emit *clever* bytes —
+// every crafted gradient is a bitwise fixed point of its codec
+// (encode(craft) decodes back to exactly craft, DecodeStatus::kOk,
+// finite everywhere), so no transport check can flag it, yet the decoded
+// floats are shaped to maximize post-decode damage:
+//
+//   sign1  scale inflation — all coordinates of a chunk sit at +/-A with
+//          A = inflate * mean|inner chunk|, so the per-chunk scale the
+//          encoder derives (mean |x|) is exactly the inflated A and every
+//          coordinate lands at full amplitude while keeping the inner
+//          attack's sign pattern (which is all sign1 transports anyway).
+//   int8   grid-edge placement — per-chunk amplitude snapped to
+//          127 * 2^e (the largest code on the quantizer's power-of-two
+//          grid), so every coordinate decodes to the extreme quantization
+//          level with zero rounding loss.
+//   topk   index-delta concentration — exactly k = topk_keep_count()
+//          leading coordinates per chunk carry +/-A (minimal u16 index
+//          deltas), the rest are exactly +0.0f, making the crafted chunk
+//          the encoder's own fixed point: the sparsifier keeps precisely
+//          the attacker's spikes.
+//
+// The crafted rows are injected through the same uplink encode path as
+// benign traffic (fl/trainer.cc byzantine transport) — there is no side
+// channel to firewall.
+
+#include <memory>
+
+#include "attacks/attack.h"
+#include "comm/codec.h"
+
+namespace signguard::attacks {
+
+// One crafted row for the given codec: the per-chunk fixed-point snap of
+// `inner` described above, with per-chunk amplitude
+// A = inflate * mean|inner chunk| (fallback 1.0 when the chunk mean is
+// zero or non-finite). Exposed for the adversarial-wire test corpus.
+std::vector<float> wirecraft_row(const comm::CompressionSpec& spec,
+                                 GradientView inner, double inflate);
+
+class WirecraftAttack : public Attack {
+ public:
+  // Throws std::invalid_argument on a null inner attack, a degenerate
+  // spec (same contract as comm::make_codec), or a non-positive /
+  // non-finite inflate.
+  WirecraftAttack(std::unique_ptr<Attack> inner, comm::CompressionSpec spec,
+                  double inflate = 8.0);
+
+  void begin_round(std::size_t round, Rng& rng) override;
+  bool flips_labels() const override;
+  std::vector<std::vector<float>> craft(const AttackContext& ctx) override;
+  void observe_round(const RoundFeedback& fb) override;
+  std::string name() const override;
+
+  void serialize_state(common::ByteWriter& w) const override;
+  void restore_state(common::ByteReader& r) override;
+
+  const comm::CompressionSpec& spec() const { return spec_; }
+
+ private:
+  std::unique_ptr<Attack> inner_;
+  comm::CompressionSpec spec_;
+  double inflate_;
+};
+
+}  // namespace signguard::attacks

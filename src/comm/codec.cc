@@ -374,11 +374,7 @@ class TopKCodec final : public Codec {
   // with k_fraction ~ 1). Data-independent, so chunk sizes — and with
   // them every wire offset — are known before touching floats.
   std::size_t keep_count(std::size_t len) const {
-    if (len == 0) return 0;
-    const auto k = static_cast<std::size_t>(
-        std::nearbyint(k_fraction_ * static_cast<double>(len)));
-    return std::min({len, std::max<std::size_t>(1, k),
-                     std::size_t{0xffff}});
+    return topk_keep_count(k_fraction_, len);
   }
 
   std::size_t chunk_payload_size(std::size_t len) const override {
@@ -528,6 +524,13 @@ class TopKCodec final : public Codec {
 };
 
 }  // namespace
+
+std::size_t topk_keep_count(double k_fraction, std::size_t len) {
+  if (len == 0) return 0;
+  const auto k = static_cast<std::size_t>(
+      std::nearbyint(k_fraction * static_cast<double>(len)));
+  return std::min({len, std::max<std::size_t>(1, k), std::size_t{0xffff}});
+}
 
 const char* codec_name(CodecKind kind) {
   switch (kind) {

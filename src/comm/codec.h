@@ -149,6 +149,13 @@ class Codec {
   std::size_t chunk_;
 };
 
+// Survivor count of the top-k codec for a chunk of `len` coordinates:
+// min(len, max(1, nearbyint(k_fraction * len))), capped at the u16 count
+// field. Exposed so codec-aware callers (attacks/wirecraft.cc crafts
+// exactly-k-spike chunks, tests pin the formula) share the encoder's
+// arithmetic instead of re-deriving it.
+std::size_t topk_keep_count(double k_fraction, std::size_t len);
+
 // Canonical lowercase codec names ("none", "sign1", "int8", "topk").
 const char* codec_name(CodecKind kind);
 // Throws std::invalid_argument for an unknown name.

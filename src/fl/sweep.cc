@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "aggregators/sharded.h"
+#include "attacks/adaptive.h"
+#include "attacks/wirecraft.h"
 #include "comm/codec.h"
 #include "common/format.h"
 #include "common/hash.h"
@@ -108,6 +110,13 @@ std::string ScenarioSpec::id() const {
       s += "/qsurv=" + std::to_string(quorum_survivors);
     if (quorum_action != "cmean") s += "/qact=" + quorum_action;
   }
+  // Adversary segments under the same gating: adversary-free scenarios —
+  // every committed golden among them — keep their exact ids.
+  if (adversary_active()) {
+    if (adaptive) s += "/adapt=1";
+    if (wirecraft) s += "/wc=1";
+    if (collude > 0.0) s += "/collude=" + num(collude);
+  }
   s += "/r=" + std::to_string(rounds);
   s += "/n=" + std::to_string(n_clients);
   s += "/seed=" + std::to_string(seed);
@@ -125,7 +134,8 @@ std::size_t SweepGrid::size() const {
          byzantine_fracs.size() * participations.size() *
          dropout_probs.size() * straggler_probs.size() * codecs.size() *
          shard_counts.size() * faults.size() * deadlines.size() *
-         churns.size();
+         churns.size() * adaptives.size() * wirecrafts.size() *
+         colludes.size();
 }
 
 std::vector<ScenarioSpec> SweepGrid::expand() const {
@@ -143,34 +153,40 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                     for (const auto shards : shard_counts)
                       for (const auto& fault : faults)
                         for (const double deadline : deadlines)
-                          for (const double churn : churns) {
-                            ScenarioSpec s;
-                            s.workload = workload;
-                            s.profile = profile;
-                            s.attack = attack;
-                            s.gar = gar;
-                            s.skew = skew;
-                            s.byzantine_frac = byz;
-                            s.participation = part;
-                            s.dropout_prob = drop;
-                            s.straggler_prob = strag;
-                            s.codec = codec;
-                            s.codec_chunk = codec_chunk;
-                            s.codec_k = codec_k;
-                            s.shards = shards;
-                            s.shard_merge = shard_merge;
-                            s.fault = fault;
-                            s.deadline_ms = deadline;
-                            s.churn = churn;
-                            s.churn_absence = churn_absence;
-                            s.quorum_min = quorum_min;
-                            s.quorum_survivors = quorum_survivors;
-                            s.quorum_action = quorum_action;
-                            s.rounds = rounds;
-                            s.n_clients = n_clients;
-                            s.seed = seed;
-                            specs.push_back(std::move(s));
-                          }
+                          for (const double churn : churns)
+                            for (const bool adapt : adaptives)
+                              for (const bool wc : wirecrafts)
+                                for (const double collude : colludes) {
+                                  ScenarioSpec s;
+                                  s.workload = workload;
+                                  s.profile = profile;
+                                  s.attack = attack;
+                                  s.gar = gar;
+                                  s.skew = skew;
+                                  s.byzantine_frac = byz;
+                                  s.participation = part;
+                                  s.dropout_prob = drop;
+                                  s.straggler_prob = strag;
+                                  s.codec = codec;
+                                  s.codec_chunk = codec_chunk;
+                                  s.codec_k = codec_k;
+                                  s.shards = shards;
+                                  s.shard_merge = shard_merge;
+                                  s.fault = fault;
+                                  s.deadline_ms = deadline;
+                                  s.churn = churn;
+                                  s.churn_absence = churn_absence;
+                                  s.quorum_min = quorum_min;
+                                  s.quorum_survivors = quorum_survivors;
+                                  s.quorum_action = quorum_action;
+                                  s.adaptive = adapt;
+                                  s.wirecraft = wc;
+                                  s.collude = collude;
+                                  s.rounds = rounds;
+                                  s.n_clients = n_clients;
+                                  s.seed = seed;
+                                  specs.push_back(std::move(s));
+                                }
   return specs;
 }
 
@@ -341,6 +357,24 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
     }
     Trainer trainer(w.data, w.model_factory, cfg);
     auto attack = make_attack(spec.attack);
+    // Adversary-axis wrappers, innermost first: amplitude adaptation
+    // steers the base attack from round feedback, wire crafting then
+    // snaps the (possibly rescaled) rows onto this scenario's codec
+    // fixed points — wirecraft wraps OUTSIDE adaptive so the emitted
+    // amplitudes are always wire-legal no matter where the gain search
+    // wanders — and the chaos-colluding scheduler (outermost) decides
+    // who sends it. Feedback flows through every layer either way. The
+    // collude stream root is a stateless key off the scenario seed, like
+    // the GAR/shard seeds above.
+    if (spec.adaptive)
+      attack = std::make_unique<attacks::AdaptiveAttack>(std::move(attack));
+    if (spec.wirecraft)
+      attack = std::make_unique<attacks::WirecraftAttack>(std::move(attack),
+                                                          cfg.compression);
+    if (spec.collude > 0.0)
+      attack = std::make_unique<attacks::ChaosColludeAttack>(
+          std::move(attack), common::splitmix64(cfg.seed ^ 0xc0117deULL),
+          spec.collude);
     auto gar =
         make_aggregator(spec.gar, common::splitmix64(cfg.seed ^ 0x6a5ULL));
     if (spec.shards > 1) {
@@ -573,6 +607,15 @@ void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
     line += ",\"fallback_prev_rounds\":" +
             std::to_string(r.fallback_prev_rounds);
   }
+  // Adversary block under the same gating: adversary-free lines — all
+  // committed goldens — keep their exact bytes.
+  if (s.adversary_active()) {
+    line += ",\"adaptive\":";
+    line += s.adaptive ? "true" : "false";
+    line += ",\"wirecraft\":";
+    line += s.wirecraft ? "true" : "false";
+    if (s.collude > 0.0) line += ",\"collude\":" + json_num(s.collude);
+  }
   if (r.halted) line += ",\"halted\":true";
   line += ",\"trace_checksum\":" + json_hex(r.trace_checksum);
   if (!r.rounds.empty()) {
@@ -607,6 +650,9 @@ std::string summary_table(const std::vector<ScenarioResult>& results) {
     if (s.deadline_ms > 0.0) g += ", dl=" + num(s.deadline_ms);
     if (s.churn > 0.0) g += ", churn=" + num(s.churn);
     if (s.quorum_active()) g += ", qmin=" + std::to_string(s.quorum_min);
+    if (s.adaptive) g += ", adaptive";
+    if (s.wirecraft) g += ", wirecraft";
+    if (s.collude > 0.0) g += ", collude=" + num(s.collude);
     g += ", rounds=" + std::to_string(r.resolved_rounds);
     g += ", n=" + std::to_string(r.resolved_clients);
     g += ", seed=" + std::to_string(s.seed) + ")";

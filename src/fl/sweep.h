@@ -73,6 +73,16 @@ struct ScenarioSpec {
   std::size_t quorum_min = 0;
   std::size_t quorum_survivors = 0;
   std::string quorum_action = "cmean";
+  // Adaptive-adversary axis (src/attacks/adaptive.h, wirecraft.h): wrap
+  // the scenario's attack in feedback-driven amplitude adaptation
+  // (`adaptive`), codec-aware wire crafting (`wirecraft` — crafts
+  // against this spec's codec), and/or chaos-colluding scheduling with
+  // time-varying colluding fraction (`collude` = base fraction, 0 = off).
+  // All default off and are gated out of ids / JSONL exactly like
+  // codec/shards/fault, so committed goldens keep their bytes.
+  bool adaptive = false;
+  bool wirecraft = false;
+  double collude = 0.0;
   std::size_t rounds = 0;            // 0 = workload default for the scale
   std::size_t n_clients = 0;         // 0 = workload default
   std::uint64_t seed = 7;
@@ -82,6 +92,9 @@ struct ScenarioSpec {
   }
   bool quorum_active() const {
     return quorum_min > 0 || quorum_survivors > 0;
+  }
+  bool adversary_active() const {
+    return adaptive || wirecraft || collude > 0.0;
   }
 
   // Canonical key: total order over scenarios and the root of the
@@ -127,6 +140,11 @@ struct SweepGrid {
   std::size_t quorum_min = 0;
   std::size_t quorum_survivors = 0;
   std::string quorum_action = "cmean";
+  // Adaptive-adversary axes: one scenario per flag value / collude
+  // fraction ({false} / {0.0} keep the grid adversary-free).
+  std::vector<bool> adaptives = {false};
+  std::vector<bool> wirecrafts = {false};
+  std::vector<double> colludes = {0.0};
   std::size_t rounds = 0;
   std::size_t n_clients = 0;
   std::uint64_t seed = 7;

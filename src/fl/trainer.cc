@@ -553,6 +553,16 @@ TrainingResult Trainer::run(attacks::Attack& attack,
         result.uplink_bytes += chaos_sent_bytes;
         result.uplink_dense_bytes += chaos_dense_bytes;
       }
+      {
+        // The feedback channel fires on every round, skips included —
+        // an adaptive attacker (attacks/adaptive.h) learns from silence
+        // too. craft() never ran, so there is nothing to leak.
+        attacks::RoundFeedback fb;
+        fb.round = round;
+        fb.skipped = true;
+        fb.degraded = true;
+        attack.observe_round(fb);
+      }
       if (observer) {
         RoundObservation obs;
         obs.round = round;
@@ -598,6 +608,14 @@ TrainingResult Trainer::run(attacks::Attack& attack,
         result.uplink_dense_bytes += dense_bytes;
         result.decode_rejects += benign_rejects;
         ++result.skipped_rounds;
+        {
+          attacks::RoundFeedback fb;
+          fb.round = round;
+          fb.decode_rejects = benign_rejects;
+          fb.skipped = true;
+          fb.degraded = true;
+          attack.observe_round(fb);
+        }
         if (observer) {
           RoundObservation obs;
           obs.round = round;
@@ -839,6 +857,27 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       result.best_accuracy = std::max(result.best_accuracy, acc);
       result.final_accuracy = acc;
       obs.test_accuracy = acc;
+    }
+    {
+      // Close the adversary's feedback loop (attack.h RoundFeedback):
+      // what the colluding clients could observe this round. Runs before
+      // the round-boundary checkpoint below, so adaptive search state is
+      // crash-consistent; the aggregate span borrows the server buffer
+      // and is only valid for the call.
+      attacks::RoundFeedback fb;
+      fb.round = round;
+      fb.participants = n_eff;
+      fb.byzantine = m_eff;
+      fb.has_selection =
+          outcome == RoundOutcome::kProceed && server.gar().reports_selection();
+      fb.selected = selected.size();
+      for (const std::size_t id : selected)
+        fb.selected_byzantine += id < m_eff ? 1 : 0;
+      fb.decode_rejects = transport_on ? round_rejects : 0;
+      fb.skipped = agg_ptr == nullptr;
+      fb.degraded = outcome != RoundOutcome::kProceed;
+      if (agg_ptr != nullptr) fb.aggregate = *agg_ptr;
+      attack.observe_round(fb);
     }
     if (observer) observer(obs);
   };

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "attacks/wirecraft.h"
 #include "comm/codec.h"
 #include "comm/stats.h"
 #include "comm/wire.h"
@@ -405,6 +406,44 @@ TEST(CommWire, AdversarialCodecPayloads) {
     std::memcpy(buf.data() + comm::kWireHeaderSize + 4 + 8, &inf, 4);
     fix_checksum(buf);
     EXPECT_EQ(decode_status(*codec, buf, 32), DecodeStatus::kMalformedChunk);
+  }
+}
+
+// Crafted-but-wire-legal corpus (attacks/wirecraft.h): the adversarial
+// tests above prove hostile bytes are rejected; this one proves the
+// wirecraft attacker's *clever* bytes are not — every crafted row must
+// survive the wire as DecodeStatus::kOk with finite coordinates, and be
+// a bitwise fixed point of its codec (what was crafted is exactly what
+// the aggregator sees).
+TEST(CommWire, WirecraftRowsAreWireLegalFixedPoints) {
+  Rng rng(43);
+  const CompressionSpec specs[] = {
+      spec_of(CodecKind::kNone, 64), spec_of(CodecKind::kSign1, 64),
+      spec_of(CodecKind::kInt8, 64), spec_of(CodecKind::kTopK, 32, 0.25),
+      spec_of(CodecKind::kTopK, 64, 1.0)};
+  const std::size_t d = 200;  // odd tail chunk for every spec above
+  for (const auto& spec : specs) {
+    const auto codec = comm::make_codec(spec);
+    for (int regime = 0; regime < 5; ++regime) {
+      for (const double inflate : {1.0, 8.0, 1e6}) {
+        const std::vector<float> inner = make_row(d, regime, rng);
+        const std::vector<float> crafted =
+            attacks::wirecraft_row(spec, inner, inflate);
+        ASSERT_EQ(crafted.size(), d);
+        for (const float v : crafted)
+          ASSERT_TRUE(std::isfinite(v))
+              << codec->name() << " regime=" << regime;
+        const auto buf = encode(*codec, crafted);
+        std::vector<float> decoded(d);
+        ASSERT_EQ(comm::decode_into(*codec, buf, decoded), DecodeStatus::kOk)
+            << codec->name() << " regime=" << regime
+            << " inflate=" << inflate;
+        for (std::size_t j = 0; j < d; ++j)
+          ASSERT_EQ(std::bit_cast<std::uint32_t>(decoded[j]),
+                    std::bit_cast<std::uint32_t>(crafted[j]))
+              << codec->name() << " regime=" << regime << " j=" << j;
+      }
+    }
   }
 }
 

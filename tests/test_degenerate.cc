@@ -11,6 +11,9 @@
 #include <stdexcept>
 
 #include "aggregators/baselines.h"
+#include "attacks/byzmean.h"
+#include "attacks/lie.h"
+#include "attacks/minmax_minsum.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/vecops.h"
@@ -90,6 +93,61 @@ TEST(Degenerate, ZeroDimensionalGradientsProduceEmptyOutput) {
     const auto out = gar->aggregate(grads, ctx);
     EXPECT_TRUE(out.empty()) << name;
   }
+}
+
+// ---- attack-side degenerate shapes (PR 7 TimeVaryingAttack contract:
+// degenerate inputs are typed errors, never silent garbage) -------------
+
+// Views + context over a synthetic round: nb benign rows, m Byzantine.
+attacks::AttackInput degenerate_round(std::size_t nb, std::size_t m,
+                                      std::size_t d, Rng* rng) {
+  static thread_local std::vector<std::vector<float>> benign, byz;
+  benign.clear();
+  byz.clear();
+  Rng gen(91);
+  for (std::size_t i = 0; i < nb; ++i)
+    benign.push_back(gen.normal_vector(d, 0.1, 1.0));
+  for (std::size_t i = 0; i < m; ++i)
+    byz.push_back(gen.normal_vector(d, 0.1, 1.0));
+  return attacks::make_attack_input(benign, byz, nb + m, m, rng);
+}
+
+TEST(DegenerateAttacks, EmptyHonestSetThrowsTypedError) {
+  // All-Byzantine round: every omniscient attack needs benign statistics
+  // and must refuse loudly instead of crafting from an empty set.
+  Rng rng(7);
+  const auto in = degenerate_round(0, 3, 5, &rng);
+  EXPECT_THROW(attacks::LieAttack(0.3).craft(in.ctx), std::invalid_argument);
+  EXPECT_THROW(attacks::MinMaxAttack().craft(in.ctx), std::invalid_argument);
+  EXPECT_THROW(attacks::MinSumAttack().craft(in.ctx), std::invalid_argument);
+  EXPECT_THROW(attacks::ByzMeanAttack().craft(in.ctx), std::invalid_argument);
+  // LIE in auto-z mode hits the same wall one layer down (n == m).
+  EXPECT_THROW(attacks::LieAttack(0.0).craft(in.ctx), std::invalid_argument);
+}
+
+TEST(DegenerateAttacks, ZeroByzantineCraftsNothing) {
+  // m = 0 is a legal round shape (the trainer expects exactly m rows
+  // back), not an error.
+  Rng rng(8);
+  const auto in = degenerate_round(4, 0, 5, &rng);
+  EXPECT_TRUE(attacks::LieAttack(0.3).craft(in.ctx).empty());
+  EXPECT_TRUE(attacks::MinMaxAttack().craft(in.ctx).empty());
+  EXPECT_TRUE(attacks::MinSumAttack().craft(in.ctx).empty());
+  EXPECT_TRUE(attacks::ByzMeanAttack().craft(in.ctx).empty());
+}
+
+TEST(DegenerateAttacks, ConstructorValidation) {
+  EXPECT_THROW(attacks::ByzMeanAttack(nullptr, -0.1), std::invalid_argument);
+  EXPECT_THROW(attacks::ByzMeanAttack(nullptr, 1.5), std::invalid_argument);
+  EXPECT_THROW(attacks::ByzMeanAttack(nullptr, std::nan("")),
+               std::invalid_argument);
+  EXPECT_NO_THROW(attacks::ByzMeanAttack(nullptr, 0.5));
+  EXPECT_THROW(attacks::LieAttack::z_max(3, 3), std::invalid_argument);
+  EXPECT_THROW(attacks::LieAttack::z_max(2, 5), std::invalid_argument);
+  EXPECT_THROW(
+      attacks::make_perturbation(std::span<const attacks::GradientView>(),
+                                 attacks::Perturbation::kInverseStd),
+      std::invalid_argument);
 }
 
 TEST(DnC, SmallBudgetStillRemovesCollinearOutlier) {
