@@ -89,6 +89,6 @@ int main(int argc, char** argv) {
     std::printf("[clusterer x similarity]\n%s\n", table.to_string().c_str());
   }
 
-  std::printf("total wall time: %.1fs\n", total.seconds());
+  bench::report_wall(total);
   return 0;
 }

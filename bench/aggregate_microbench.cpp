@@ -27,7 +27,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,23 +41,9 @@
 namespace signguard {
 namespace {
 
-using bench::Stopwatch;
-
-double min_ms = 200.0;
-
-// Best single-run wall time in microseconds. Expensive ops (seconds per
-// run at the large shapes) naturally get one measurement; cheap ones
-// repeat until the budget is spent so scheduler noise cannot dominate.
-double time_usec(const std::function<void()>& op) {
-  double best = 1e300;
-  Stopwatch budget;
-  do {
-    Stopwatch w;
-    op();
-    best = std::min(best, w.seconds() * 1e6);
-  } while (budget.seconds() * 1e3 < min_ms);
-  return best;
-}
+// Expensive ops (seconds per run at the large shapes) naturally get one
+// measurement; cheap ones repeat until the budget is spent.
+obs::StopwatchReporter timer(200.0);
 
 struct Entry {
   std::string group, name, backend;
@@ -112,7 +97,7 @@ double time_gar(const std::string& name, const common::GradientMatrix& m) {
   agg::GarContext ctx;
   ctx.assumed_byzantine = m.rows() / 5;
   ctx.rng = &rng;
-  return time_usec([&] {
+  return timer.time_usec([&] {
     auto out = gar->aggregate(m, ctx);
     // The result feeds the entry count so the call cannot be elided.
     if (out.empty()) std::abort();
@@ -131,8 +116,9 @@ void write_json(const std::string& path) {
     const Entry& e = entries[i];
     out << "    {\"group\": \"" << e.group << "\", \"name\": \"" << e.name
         << "\", \"backend\": \"" << e.backend << "\", \"n\": " << e.n
-        << ", \"d\": " << e.d << ", \"usec\": " << e.usec
-        << ", \"rate\": " << e.rate << "}"
+        << ", \"d\": " << e.d
+        << ", \"usec\": " << obs::StopwatchReporter::json_num(e.usec)
+        << ", \"rate\": " << obs::StopwatchReporter::json_num(e.rate) << "}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -145,7 +131,7 @@ void write_json(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace signguard;
   bench::banner("aggregate_microbench", fl::scale_from_env());
-  min_ms = std::stod(bench::arg_value(argc, argv, "min-ms", "200"));
+  timer.set_min_ms(std::stod(bench::arg_value(argc, argv, "min-ms", "200")));
   const std::string json_path =
       bench::arg_value(argc, argv, "json", "BENCH_aggregate.json");
   const std::string assert_arg =
@@ -200,7 +186,7 @@ int main(int argc, char** argv) {
         for (const auto backend :
              {vec::DistBackend::kDirect, vec::DistBackend::kGram}) {
           vec::set_dist_backend(backend);
-          const double kernel_usec = time_usec([&] {
+          const double kernel_usec = timer.time_usec([&] {
             auto d2 = vec::pairwise_dist2_packed(m);
             if (d2.empty()) std::abort();
           });

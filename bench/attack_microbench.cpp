@@ -62,10 +62,9 @@ void write_json(const std::string& path) {
       << "  \"threads\": " << common::thread_count() << ",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
-    char num[64];
-    std::snprintf(num, sizeof num, "%g", e.value);
     out << "    {\"group\": \"" << e.group << "\", \"name\": \"" << e.name
-        << "\", \"value\": " << num << ", \"unit\": \"" << e.unit << "\"}"
+        << "\", \"value\": " << obs::StopwatchReporter::json_num(e.value)
+        << ", \"unit\": \"" << e.unit << "\"}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

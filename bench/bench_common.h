@@ -3,11 +3,14 @@
 // simple argv filters (--dataset=, --defense=, --attack=) so individual
 // rows/cells can be re-run in isolation, and wall-clock reporting.
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/format.h"
 #include "fl/experiment.h"
 
 namespace signguard::bench {
@@ -80,4 +83,53 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+// The standard closing line of the paper-table binaries.
+inline void report_wall(const Stopwatch& w) {
+  std::printf("total wall time: %.1fs\n", w.seconds());
+}
+
 }  // namespace signguard::bench
+
+namespace signguard::obs {
+
+// Shared best-of-repeats timing harness for the microbench binaries
+// (previously each one carried its own time_usec copy). After `warmup`
+// unmeasured runs, repeats batches of `batch` ops until `min_ms` of
+// budget is spent, keeping the fastest per-op batch average — expensive
+// ops naturally get one measurement, cheap ones repeat until scheduler
+// noise cannot dominate. Wall time only; the deterministic work-counter
+// plane lives in src/obs/metrics.h.
+class StopwatchReporter {
+ public:
+  explicit StopwatchReporter(double min_ms, std::size_t warmup = 0,
+                             std::size_t batch = 1)
+      : min_ms_(min_ms), warmup_(warmup), batch_(batch < 1 ? 1 : batch) {}
+
+  // Best single-op wall time in microseconds.
+  template <class F>
+  double time_usec(F&& op) const {
+    for (std::size_t i = 0; i < warmup_; ++i) op();
+    double best = 1e300;
+    bench::Stopwatch budget;
+    do {
+      bench::Stopwatch w;
+      for (std::size_t i = 0; i < batch_; ++i) op();
+      best = std::min(best, w.seconds() * 1e6 / double(batch_));
+    } while (budget.seconds() * 1e3 < min_ms_);
+    return best;
+  }
+
+  double min_ms() const { return min_ms_; }
+  void set_min_ms(double min_ms) { min_ms_ = min_ms; }
+
+  // Canonical JSON number rendering for reported measurements (%.9g) —
+  // the bench write_json emitters all go through this.
+  static std::string json_num(double v) { return common::fmt_g9(v); }
+
+ private:
+  double min_ms_;
+  std::size_t warmup_;
+  std::size_t batch_;
+};
+
+}  // namespace signguard::obs

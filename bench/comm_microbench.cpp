@@ -30,7 +30,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -49,23 +48,9 @@
 namespace signguard {
 namespace {
 
-using bench::Stopwatch;
-
-double min_ms = 120.0;
-
-// Best-of-repeats wall time per op in microseconds (same discipline as
-// train_microbench: robust to scheduler noise on a busy CI runner).
-double time_usec(const std::function<void()>& op) {
-  op();  // warm up
-  double best = 1e300;
-  Stopwatch budget;
-  while (budget.seconds() * 1e3 < min_ms) {
-    Stopwatch w;
-    op();
-    best = std::min(best, w.seconds() * 1e6);
-  }
-  return best;
-}
+// One unmeasured warm-up run (first-touch allocation, cache fill), then
+// best-of-repeats until the budget is spent.
+obs::StopwatchReporter timer(120.0, /*warmup=*/1);
 
 struct Entry {
   std::string group, codec;
@@ -120,7 +105,7 @@ CodecNumbers bench_codec(comm::CodecKind kind, std::size_t d) {
   const double dense_gb = double(d) * 4.0 / 1e9;
 
   common::set_thread_count(1);
-  const double enc_usec = time_usec(
+  const double enc_usec = timer.time_usec(
       [&] { comm::encode_into(*codec, row, buf, scratch); });
   record("encode", codec->name(), d, 1, enc_usec,
          dense_gb / (enc_usec * 1e-6), "GB/s");
@@ -128,13 +113,13 @@ CodecNumbers bench_codec(comm::CodecKind kind, std::size_t d) {
     if (comm::decode_into(*codec, buf, out) != comm::DecodeStatus::kOk)
       std::abort();
   };
-  const double dec_usec = time_usec(decode_op);
+  const double dec_usec = timer.time_usec(decode_op);
   const double dec_gbps = dense_gb / (dec_usec * 1e-6);
   record("decode", codec->name(), d, 1, dec_usec, dec_gbps, "GB/s");
   // Pool-threaded decode of the same buffer: chunk records fan out over
   // the pool into disjoint coordinate ranges (bitwise-identical rows).
   common::set_thread_count(4);
-  const double dec4_usec = time_usec(decode_op);
+  const double dec4_usec = timer.time_usec(decode_op);
   record("decode", codec->name(), d, 4, dec4_usec,
          dense_gb / (dec4_usec * 1e-6), "GB/s");
   common::set_thread_count(1);
@@ -169,11 +154,11 @@ void bench_wire_stats(comm::CodecKind kind, std::size_t d) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     common::set_thread_count(threads);
     const double norm_usec =
-        time_usec([&] { (void)comm::wire_row_norms(wire); });
+        timer.time_usec([&] { (void)comm::wire_row_norms(wire); });
     record("norms", codec->name(), d, threads, norm_usec,
            dense_gb / (norm_usec * 1e-6), "GB/s");
     const double sign_usec =
-        time_usec([&] { (void)comm::wire_sign_stats(wire, mask); });
+        timer.time_usec([&] { (void)comm::wire_sign_stats(wire, mask); });
     record("signstats", codec->name(), d, threads, sign_usec,
            dense_gb / (sign_usec * 1e-6), "GB/s");
     if (kind == comm::CodecKind::kSign1) {
@@ -261,7 +246,7 @@ WirePathNumbers bench_filtered_round() {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     common::set_thread_count(threads);
     core::SignGuard sg_dec(core::plain_config(9));
-    const double dec_usec = time_usec([&] {
+    const double dec_usec = timer.time_usec([&] {
       decode_all();
       (void)sg_dec.aggregate(grads, ctx);
     });
@@ -270,7 +255,7 @@ WirePathNumbers bench_filtered_round() {
            dense_gb / (dec_usec * 1e-6), "GB/s");
     core::SignGuard sg_wire(core::plain_config(9));
     const double wire_usec =
-        time_usec([&] { (void)sg_wire.aggregate_wire(wire, ctx); });
+        timer.time_usec([&] { (void)sg_wire.aggregate_wire(wire, ctx); });
     record("round-wire", "sign1", d, threads, wire_usec,
            dense_gb / (wire_usec * 1e-6), "GB/s");
     const double speedup = dec_usec / wire_usec;
@@ -310,7 +295,8 @@ void write_json(const std::string& path) {
     const Entry& e = entries[i];
     out << "    {\"group\": \"" << e.group << "\", \"codec\": \"" << e.codec
         << "\", \"d\": " << e.d << ", \"threads\": " << e.threads
-        << ", \"usec\": " << e.usec << ", \"rate\": " << e.rate << "}"
+        << ", \"usec\": " << obs::StopwatchReporter::json_num(e.usec)
+        << ", \"rate\": " << obs::StopwatchReporter::json_num(e.rate) << "}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -337,7 +323,8 @@ int main(int argc, char** argv) {
   using namespace signguard;
   std::printf("== comm_microbench ==\n");
   common::set_thread_count(1);
-  min_ms = std::stod(bench::arg_value(argc, argv, "min-ms", "120"));
+  timer.set_min_ms(
+      std::stod(bench::arg_value(argc, argv, "min-ms", "120")));
   const std::string json_path =
       bench::arg_value(argc, argv, "json", "BENCH_comm.json");
 

@@ -88,6 +88,6 @@ int main(int argc, char** argv) {
                scale);
   run_workload(fl::WorkloadKind::kCifarLike,
                "Residual CNN on CIFAR-like (Fig. 2c/2d)", scale);
-  std::printf("total wall time: %.1fs\n", total.seconds());
+  bench::report_wall(total);
   return 0;
 }

@@ -112,6 +112,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  std::printf("total wall time: %.1fs\n", total.seconds());
+  bench::report_wall(total);
   return 0;
 }

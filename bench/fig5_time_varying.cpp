@@ -72,6 +72,6 @@ int main(int argc, char** argv) {
   run_workload(fl::WorkloadKind::kFashionLike, "Fashion-like (Fig. 5a)",
                scale);
   run_workload(fl::WorkloadKind::kCifarLike, "CIFAR-like (Fig. 5b)", scale);
-  std::printf("total wall time: %.1fs\n", total.seconds());
+  bench::report_wall(total);
   return 0;
 }

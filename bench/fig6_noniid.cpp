@@ -65,6 +65,6 @@ int main(int argc, char** argv) {
   if (bench::keep(dataset_filter, "CIFAR-like"))
     run_workload(fl::WorkloadKind::kCifarLike, "CIFAR-like (Fig. 6b)",
                  scale, attack_filter);
-  std::printf("total wall time: %.1fs\n", total.seconds());
+  bench::report_wall(total);
   return 0;
 }

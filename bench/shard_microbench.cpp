@@ -40,7 +40,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,20 +61,9 @@ namespace {
 
 using bench::Stopwatch;
 
-double min_ms = 200.0;
-
-// Best single-run wall time in microseconds (expensive cells naturally
-// run once; cheap ones repeat until the budget is spent).
-double time_usec(const std::function<void()>& op) {
-  double best = 1e300;
-  Stopwatch budget;
-  do {
-    Stopwatch w;
-    op();
-    best = std::min(best, w.seconds() * 1e6);
-  } while (budget.seconds() * 1e3 < min_ms);
-  return best;
-}
+// Expensive cells naturally run once; cheap ones repeat until the
+// budget is spent.
+obs::StopwatchReporter timer(200.0);
 
 struct Entry {
   std::string group, name;
@@ -132,7 +120,7 @@ agg::ShardedAggregator make_sharded(const std::string& gar,
 // repeats are identical work.
 double time_sharded(agg::ShardedAggregator& sharded,
                     const common::GradientMatrix& m, std::size_t byz) {
-  return time_usec([&] {
+  return timer.time_usec([&] {
     Rng rng(7);
     agg::GarContext ctx;
     ctx.assumed_byzantine = byz;
@@ -232,8 +220,9 @@ void write_json(const std::string& path) {
     const Entry& e = entries[i];
     out << "    {\"group\": \"" << e.group << "\", \"name\": \"" << e.name
         << "\", \"n\": " << e.n << ", \"d\": " << e.d
-        << ", \"shards\": " << e.shards << ", \"usec\": " << e.usec
-        << ", \"rate\": " << e.rate << "}"
+        << ", \"shards\": " << e.shards
+        << ", \"usec\": " << obs::StopwatchReporter::json_num(e.usec)
+        << ", \"rate\": " << obs::StopwatchReporter::json_num(e.rate) << "}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -246,7 +235,8 @@ void write_json(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace signguard;
   bench::banner("shard_microbench", fl::scale_from_env());
-  min_ms = std::stod(bench::arg_value(argc, argv, "min-ms", "200"));
+  timer.set_min_ms(
+      std::stod(bench::arg_value(argc, argv, "min-ms", "200")));
   const std::string json_path =
       bench::arg_value(argc, argv, "json", "BENCH_shard.json");
   const std::string assert_arg =
@@ -266,7 +256,7 @@ int main(int argc, char** argv) {
     fill_rows(m, 0);
     if (bench::keep(gar_filter, "Multi-Krum")) {
       auto flat = fl::make_aggregator("Multi-Krum");
-      const double flat_usec = time_usec([&] {
+      const double flat_usec = timer.time_usec([&] {
         Rng rng(7);
         agg::GarContext ctx;
         ctx.assumed_byzantine = n / 5 + 1;
@@ -307,7 +297,7 @@ int main(int argc, char** argv) {
     const auto codec = comm::make_codec(spec);
     std::vector<std::vector<std::uint8_t>> uplinks(n);
     std::vector<comm::CodecScratch> scratch;
-    const double enc_usec = time_usec([&] {
+    const double enc_usec = timer.time_usec([&] {
       common::parallel_for(n, [&](std::size_t i) {
         comm::encode_into(*codec, m.row(i), uplinks[i], scratch);
       });
@@ -317,7 +307,7 @@ int main(int argc, char** argv) {
     std::vector<std::size_t> ids;
     common::GradientMatrix shard_mat;
     const std::size_t per = n / S;
-    const double dec_usec = time_usec([&] {
+    const double dec_usec = timer.time_usec([&] {
       std::size_t rejected = 0;
       for (std::size_t s = 0; s < S; ++s) {
         ids.clear();

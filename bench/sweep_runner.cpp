@@ -14,6 +14,7 @@
 // Scale via SIGNGUARD_SCALE=smoke|default|full (rounds=0 resolves to it).
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -21,6 +22,7 @@
 #include "common/parallel.h"
 #include "fl/chaos.h"
 #include "fl/sweep.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -39,6 +41,7 @@ Grid axes (comma-separated lists; one scenario per combination):
   --workloads=LIST      workloads                    [MNIST-like]
   --attacks=LIST        attack names                 [NoAttack,SignFlip,LIE,ByzMean]
   --gars=LIST           aggregation rules            [Mean,Median,SignGuard]
+                        ("table1" expands to every Table-I defense)
   --skews=LIST          "iid" or non-IID s in [0,1]  [iid,0.5]
   --byz=LIST            Byzantine fractions          [0.2]
   --participation=LIST  sampled client fractions     [1.0]
@@ -80,6 +83,19 @@ Output:
   --list                print expanded scenario ids, run nothing
   --help                this text
 
+Observability (src/obs; see ARCHITECTURE.md "Observability"):
+  --obs                 per-round deterministic work counters in the
+                        JSONL ("obs" block; bit-identical across
+                        SIGNGUARD_THREADS)
+  --profile             per-scenario per-stage cost table on stderr
+                        (implies --obs, plus coordinator stage timing
+                        in the JSONL; --stage-profile is an alias —
+                        note --profile=VALUE still selects the model
+                        profile above)
+  --trace-out=DIR       enable timing spans (as if SIGNGUARD_TRACE=1)
+                        and write DIR/trace.json (Chrome trace_event,
+                        Perfetto-loadable) + DIR/metrics.prom
+
 Scale via SIGNGUARD_SCALE=smoke|default|full. JSONL streams to stdout in
 canonical id order, bit-identical for any SIGNGUARD_THREADS.
 )",
@@ -103,6 +119,58 @@ std::vector<bool> parse_bools(const std::vector<std::string>& items) {
   std::vector<bool> out;
   for (const auto& s : items) out.push_back(s != "0" && s != "false");
   return out;
+}
+
+// Every defense from the paper's Table I, in its row order — the
+// "--gars=table1" shorthand. Names are fl::make_aggregator names.
+std::vector<std::string> expand_gars(const std::vector<std::string>& items) {
+  static const char* kTable1[] = {
+      "Mean",      "TrMean", "Median",  "GeoMed",        "Multi-Krum",
+      "Bulyan",    "DnC",    "SignSGD", "SignGuard-Sim", "SignGuard-Dist",
+      "SignGuard",
+  };
+  std::vector<std::string> out;
+  for (const auto& g : items) {
+    if (g == "table1")
+      out.insert(out.end(), std::begin(kTable1), std::end(kTable1));
+    else
+      out.push_back(g);
+  }
+  return out;
+}
+
+// --profile: one text table per scenario, stages down, summed over the
+// scenario's rounds. ms/round comes from the coordinator's StageScope
+// timings (nondeterministic); the work columns are the deterministic
+// counter totals, nonzero ones only so the table stays readable.
+void print_stage_profile(const fl::ScenarioResult& r) {
+  if (r.obs_rounds.empty()) return;
+  obs::RoundCost tot;
+  for (const auto& rc : r.obs_rounds) {
+    for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+      tot.stage_ms[s] += rc.stage_ms[s];
+      for (std::size_t c = 0; c < obs::kNumCounters; ++c)
+        tot.counters[s][c] += rc.counters[s][c];
+    }
+  }
+  const double rounds = double(r.obs_rounds.size());
+  std::fprintf(stderr, "\n-- stage profile: %s (%zu rounds) --\n",
+               r.spec.id().c_str(), r.obs_rounds.size());
+  std::fprintf(stderr, "  %-16s %12s  %s\n", "stage", "ms/round",
+               "work (run totals)");
+  for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+    std::string work;
+    for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+      if (tot.counters[s][c] == 0) continue;
+      work += work.empty() ? "" : "  ";
+      work += obs::to_string(obs::Counter(c));
+      work += "=" + std::to_string(tot.counters[s][c]);
+    }
+    if (tot.stage_ms[s] == 0.0 && work.empty()) continue;
+    std::fprintf(stderr, "  %-16s %12.3f  %s\n",
+                 obs::to_string(obs::Stage(s)), tot.stage_ms[s] / rounds,
+                 work.c_str());
+  }
 }
 
 }  // namespace
@@ -136,8 +204,8 @@ int main(int argc, char** argv) {
                      : fl::ModelProfile::kGrid;
   grid.attacks = bench::split_csv(
       bench::arg_value(argc, argv, "attacks", "NoAttack,SignFlip,LIE,ByzMean"));
-  grid.gars = bench::split_csv(
-      bench::arg_value(argc, argv, "gars", "Mean,Median,SignGuard"));
+  grid.gars = expand_gars(bench::split_csv(
+      bench::arg_value(argc, argv, "gars", "Mean,Median,SignGuard")));
   grid.skews =
       parse_skews(bench::split_csv(bench::arg_value(argc, argv, "skews",
                                                     "iid,0.5")));
@@ -230,6 +298,14 @@ int main(int argc, char** argv) {
   opts.halt_after_round = std::strtoull(
       bench::arg_value(argc, argv, "halt-after-round", "0").c_str(), nullptr,
       10);
+  // Bare "--profile" (exact match) is the stage-cost table; the valued
+  // "--profile=grid|paper" form above never matches has_flag.
+  const bool stage_profile = bench::has_flag(argc, argv, "profile") ||
+                             bench::has_flag(argc, argv, "stage-profile");
+  opts.obs_counters = bench::has_flag(argc, argv, "obs") || stage_profile;
+  opts.obs_timing = stage_profile;
+  const std::string trace_dir = bench::arg_value(argc, argv, "trace-out");
+  if (!trace_dir.empty()) obs::set_trace_enabled(true);
   opts.progress = [](std::size_t done, std::size_t total,
                      const fl::ScenarioResult& r) {
     std::fprintf(stderr, "[%zu/%zu] %s  best=%.2f%%%s%s\n", done, total,
@@ -245,6 +321,24 @@ int main(int argc, char** argv) {
   for (const auto& r : results) failed += r.error.empty() ? 0 : 1;
   if (bench::has_flag(argc, argv, "summary"))
     std::fprintf(stderr, "\n%s", fl::summary_table(results).c_str());
+  if (stage_profile)
+    for (const auto& r : results) print_stage_profile(r);
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    std::ofstream tf(trace_dir + "/trace.json");
+    tf << obs::chrome_trace_json();
+    std::ofstream pf(trace_dir + "/metrics.prom");
+    obs::write_prometheus(pf);
+    if (!tf || !pf) {
+      std::fprintf(stderr, "cannot write --trace-out=%s\n", trace_dir.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %s/trace.json (%llu dropped), %s/metrics.prom\n",
+                 trace_dir.c_str(),
+                 static_cast<unsigned long long>(obs::trace_dropped()),
+                 trace_dir.c_str());
+  }
   std::fprintf(stderr,
                "%zu scenarios (%zu failed), wall %.1fs, threads=%zu\n",
                results.size(), failed, total.seconds(),

@@ -60,6 +60,6 @@ int main(int argc, char** argv) {
   bench::Stopwatch total;
   const auto results = fl::run_sweep(grid.expand(), opts);
   std::printf("%s", fl::summary_table(results).c_str());
-  std::printf("total wall time: %.1fs\n", total.seconds());
+  bench::report_wall(total);
   return 0;
 }

@@ -50,6 +50,6 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("total wall time: %.1fs\n", total.seconds());
+  bench::report_wall(total);
   return 0;
 }

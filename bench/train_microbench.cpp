@@ -16,7 +16,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -35,24 +34,9 @@
 namespace signguard {
 namespace {
 
-using bench::Stopwatch;
-
-double min_ms = 80.0;
-
-// Best-of-repeats wall time per op in microseconds: repeat the op until
-// the budget is spent, keeping the fastest batch-of-8 average (robust to
-// scheduler noise on a busy CI runner).
-double time_usec(const std::function<void()>& op) {
-  op();  // warm up (first-touch allocation, cache fill)
-  double best = 1e300;
-  Stopwatch budget;
-  while (budget.seconds() * 1e3 < min_ms) {
-    Stopwatch w;
-    for (int i = 0; i < 8; ++i) op();
-    best = std::min(best, w.seconds() * 1e6 / 8.0);
-  }
-  return best;
-}
+// Warm up once (first-touch allocation, cache fill), then keep the
+// fastest batch-of-8 average.
+obs::StopwatchReporter timer(80.0, /*warmup=*/1, /*batch=*/8);
 
 struct Entry {
   std::string group, name, backend;
@@ -87,7 +71,7 @@ void bench_layer(const std::string& name, nn::Layer& layer,
     gy.resize(y.shape());
     for (std::size_t i = 0; i < gy.numel(); ++i)
       gy[i] = float(i % 7) * 0.1f - 0.3f;
-    record("layer", name + "_fwd", backend, time_usec([&] {
+    record("layer", name + "_fwd", backend, timer.time_usec([&] {
              ws.begin_pass();
              layer.forward(x, y, ws);
            }));
@@ -95,7 +79,7 @@ void bench_layer(const std::string& name, nn::Layer& layer,
     // replay onto the same workspace slots instead of growing the arena
     // (which would fold allocation cost into the timing).
     const std::size_t after_fwd = ws.mark();
-    record("layer", name + "_bwd", backend, time_usec([&] {
+    record("layer", name + "_bwd", backend, timer.time_usec([&] {
              ws.rewind(after_fwd);
              layer.zero_grad();
              layer.backward(gy, gx, ws);
@@ -134,7 +118,7 @@ void bench_gemm() {
     for (const auto backend :
          {nn::GemmBackend::kReference, nn::GemmBackend::kTiled}) {
       nn::set_gemm_backend(backend);
-      const double usec = time_usec([&] {
+      const double usec = timer.time_usec([&] {
         nn::gemm_nn(d, d, d, a.data(), d, b.data(), d, c.data(), d, false);
       });
       Entry e;
@@ -159,7 +143,7 @@ double bench_client_round(fl::Workload& w, nn::GemmBackend backend) {
   for (std::size_t i = 0; i < shard.size(); ++i) shard[i] = i;
   fl::Client client(&w.data.train, std::move(shard), 17);
   std::vector<float> grad(model.parameter_count());
-  const double usec = time_usec([&] {
+  const double usec = timer.time_usec([&] {
     client.compute_gradient_into(grad, model, w.config.batch_size,
                                  w.config.weight_decay, false);
   });
@@ -194,8 +178,10 @@ void write_json(const std::string& path) {
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     out << "    {\"group\": \"" << e.group << "\", \"name\": \"" << e.name
-        << "\", \"backend\": \"" << e.backend << "\", \"usec\": " << e.usec
-        << ", \"rate\": " << e.per_sec << "}"
+        << "\", \"backend\": \"" << e.backend
+        << "\", \"usec\": " << obs::StopwatchReporter::json_num(e.usec)
+        << ", \"rate\": " << obs::StopwatchReporter::json_num(e.per_sec)
+        << "}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -208,7 +194,8 @@ void write_json(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace signguard;
   bench::banner("train_microbench", fl::scale_from_env());
-  min_ms = std::stod(bench::arg_value(argc, argv, "min-ms", "80"));
+  timer.set_min_ms(
+      std::stod(bench::arg_value(argc, argv, "min-ms", "80")));
   const std::string json_path =
       bench::arg_value(argc, argv, "json", "BENCH_train.json");
   const std::string assert_arg =

@@ -6,6 +6,7 @@
 #include "common/gradient_stats.h"
 #include "common/quantiles.h"
 #include "common/vecops.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -13,6 +14,7 @@ std::vector<float> BulyanAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/bulyan", std::int64_t(n));
   const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
 
   // Phase 1: iterative Krum. Repeatedly pick the gradient with the lowest
@@ -49,6 +51,10 @@ std::vector<float> BulyanAggregator::aggregate(
   // closest to the coordinate median. The selected rows are transposed
   // tile-by-tile into contiguous column panels (vec::for_each_column), so
   // the selection statistic never walks the matrix at stride d.
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterAdmits,
+             selected_.size());
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterRejects,
+             n - selected_.size());
   const std::size_t beta =
       std::max<std::size_t>(1, theta > 2 * m ? theta - 2 * m : 1);
   std::vector<float> out(grads.cols());

@@ -8,6 +8,7 @@
 #include "common/gradient_stats.h"
 #include "common/parallel.h"
 #include "common/vecops.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -64,6 +65,7 @@ std::vector<float> DnCAggregator::aggregate(
   check_grads(grads);
   assert(ctx.rng != nullptr);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/dnc", std::int64_t(n));
   const std::size_t d = grads.cols();
   const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
 
@@ -123,6 +125,10 @@ std::vector<float> DnCAggregator::aggregate(
   }
 
   selected_ = good;
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterAdmits,
+             selected_.size());
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterRejects,
+             n - selected_.size());
   return vec::mean_of_subset(grads, selected_);
 }
 

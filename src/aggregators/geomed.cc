@@ -5,6 +5,7 @@
 #include "aggregators/internal.h"
 #include "common/parallel.h"
 #include "common/vecops.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -12,6 +13,7 @@ std::vector<float> GeoMedAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/geomed", std::int64_t(n));
   const std::size_t d = grads.cols();
   // Weiszfeld: x <- sum_i(g_i / ||g_i - x||) / sum_i(1 / ||g_i - x||),
   // starting from the arithmetic mean. Per iteration, the n distances to

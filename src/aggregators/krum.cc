@@ -7,6 +7,7 @@
 #include "common/gradient_stats.h"
 #include "common/parallel.h"
 #include "common/vecops.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -14,6 +15,7 @@ std::vector<float> MultiKrumAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/multi-krum", std::int64_t(n));
   const std::size_t m = std::min(ctx.assumed_byzantine, (n - 1) / 2);
   // Krum's neighborhood size; at least 1 so tiny test fixtures work.
   const std::size_t k =
@@ -44,6 +46,10 @@ std::vector<float> MultiKrumAggregator::aggregate(
   std::partial_sort(order.begin(), order.begin() + std::ptrdiff_t(select),
                     order.end(), by_score);
   selected_.assign(order.begin(), order.begin() + std::ptrdiff_t(select));
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterAdmits,
+             selected_.size());
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterRejects,
+             n - selected_.size());
   return vec::mean_of_subset(grads, selected_);
 }
 

@@ -1,12 +1,14 @@
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
 #include "common/vecops.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
 std::vector<float> MeanAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
+  obs::Span span("agg/mean", std::int64_t(grads.rows()));
   return vec::mean_of(grads);
 }
 

@@ -3,6 +3,7 @@
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
 #include "common/vecops.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -10,6 +11,7 @@ std::vector<float> MedianAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/median", std::int64_t(n));
   std::vector<float> out(grads.cols());
   const std::size_t mid = n / 2;
   // Column-panel sweep: fixed-width column tiles are transposed once into

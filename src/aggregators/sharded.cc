@@ -8,6 +8,7 @@
 #include "aggregators/internal.h"
 #include "common/hash.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -71,6 +72,7 @@ std::vector<float> ShardedAggregator::aggregate(
   const std::size_t n = grads.rows();
   const std::size_t d = grads.cols();
   const std::size_t S = std::min(std::max<std::size_t>(cfg_.shards, 1), n);
+  obs::Span span("agg/sharded", std::int64_t(n));
 
   partial_ = common::ShardPartial{};
   if (cfg_.collect_stats) accumulate_stats(partial_, grads, {});
@@ -85,6 +87,8 @@ std::vector<float> ShardedAggregator::aggregate(
     shard_sizes_.assign(1, n);
     shard_survivors_.assign(1, selected_.empty() ? n : selected_.size());
     partial_.survivors += shard_survivors_[0];
+    obs::count(obs::Stage::kMerge, obs::Counter::kShardSurvivors,
+               shard_survivors_[0]);
     return out;
   }
   if (ctx.rng == nullptr)
@@ -127,6 +131,7 @@ std::vector<float> ShardedAggregator::aggregate(
         double(ctx.assumed_byzantine) * double(size_s) / double(n)));
     ms = std::min(ms, (size_s - 1) / 2);
 
+    obs::Span shard_span("agg/shard", std::int64_t(s));
     Rng shard_rng = Rng::stream(shard_root, s);
     GarContext sctx;
     sctx.assumed_byzantine = ms;
@@ -140,10 +145,14 @@ std::vector<float> ShardedAggregator::aggregate(
     const auto local = rule.last_selected();
     shard_survivors_[s] = local.empty() ? size_s : local.size();
     partial_.survivors += shard_survivors_[s];
+    obs::count(obs::Stage::kMerge, obs::Counter::kShardSurvivors,
+               shard_survivors_[s]);
     for (const std::size_t i : local) selected_.push_back(ids[i]);
   }
   std::sort(selected_.begin(), selected_.end());
 
+  obs::StageScope merge_stage(obs::Stage::kMerge, "agg/shard-merge",
+                              std::int64_t(S));
   if (cfg_.merge == ShardMerge::kMedianOfMeans) {
     GarContext mctx;  // coordinate-wise median ignores the context
     return median_.aggregate(shard_aggs_, mctx);

@@ -2,6 +2,7 @@
 
 #include "aggregators/internal.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -9,6 +10,7 @@ std::vector<float> SignSgdMajorityAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext&) {
   check_grads(grads);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/signsgd-mv", std::int64_t(n));
   const std::size_t d = grads.cols();
   std::vector<float> out(d);
   common::parallel_chunks(

@@ -3,6 +3,7 @@
 #include "aggregators/baselines.h"
 #include "aggregators/internal.h"
 #include "common/vecops.h"
+#include "obs/trace.h"
 
 namespace signguard::agg {
 
@@ -10,6 +11,7 @@ std::vector<float> TrimmedMeanAggregator::aggregate(
     const common::GradientMatrix& grads, const GarContext& ctx) {
   check_grads(grads);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/trimmed-mean", std::int64_t(n));
   // Trim m from each side but always keep at least one value.
   const std::size_t trim =
       std::min(ctx.assumed_byzantine, (n - 1) / 2);

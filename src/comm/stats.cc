@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace signguard::comm {
 
@@ -72,6 +73,7 @@ CoordMask::CoordMask(std::size_t d, std::size_t chunk,
 
 std::vector<double> wire_row_norms(const WireRound& wire) {
   assert(wire.codec != nullptr);
+  obs::Span span("wire/row_norms", std::int64_t(wire.uplinks.size()));
   const Codec& codec = *wire.codec;
   const std::size_t chunk = codec.chunk();
   const WireLayout l = wire_layout(codec, wire.d);
@@ -95,6 +97,7 @@ std::vector<double> wire_row_norms(const WireRound& wire) {
 std::vector<SignStats> wire_sign_stats(const WireRound& wire,
                                        const CoordMask& mask) {
   assert(wire.codec != nullptr);
+  obs::Span span("wire/sign_stats", std::int64_t(wire.uplinks.size()));
   const Codec& codec = *wire.codec;
   const std::size_t chunk = codec.chunk();
   const WireLayout l = wire_layout(codec, wire.d);

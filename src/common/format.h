@@ -17,4 +17,14 @@ inline std::string fmt_float(float v) {
   return buf;
 }
 
+// The same %.9g rendering for doubles the bench binaries report
+// (timings, rates, accuracies). Not round-trip-exact for arbitrary
+// doubles — these are measurements, not state — but stable, compact and
+// valid JSON for every finite value.
+inline std::string fmt_g9(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
 }  // namespace signguard::common

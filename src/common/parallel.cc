@@ -25,6 +25,18 @@ struct InPoolScope {
   ~InPoolScope() { t_in_pool = saved; }
 };
 
+// Per-thread opaque context (task_context / set_task_context): the
+// launching thread's value is captured at job submission and installed on
+// every helper for the duration of its chunk. The caller thread keeps its
+// own value, so nested-inline execution sees it unchanged.
+thread_local void* t_task_ctx = nullptr;
+
+struct TaskContextScope {
+  void* saved = t_task_ctx;
+  explicit TaskContextScope(void* ctx) { t_task_ctx = ctx; }
+  ~TaskContextScope() { t_task_ctx = saved; }
+};
+
 std::size_t auto_thread_count() {
   if (const char* env = std::getenv("SIGNGUARD_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
@@ -72,6 +84,7 @@ class ThreadPool {
     job_fn_ = &fn;
     job_total_ = total;
     job_workers_ = n_workers;
+    job_ctx_ = t_task_ctx;
     job_error_ = nullptr;
     pending_ = workers_.size();
     ++generation_;
@@ -164,9 +177,11 @@ class ThreadPool {
       const auto* fn = job_fn_;
       const std::size_t total = job_total_;
       const std::size_t n_workers = job_workers_;
+      void* const ctx = job_ctx_;
       lock.unlock();
       std::exception_ptr error;
       if (fn != nullptr && worker < n_workers) {
+        TaskContextScope ctx_scope(ctx);
         try {
           run_chunk(total, n_workers, worker, *fn);
         } catch (...) {
@@ -192,6 +207,7 @@ class ThreadPool {
       nullptr;
   std::size_t job_total_ = 0;
   std::size_t job_workers_ = 1;
+  void* job_ctx_ = nullptr;
   std::exception_ptr job_error_ = nullptr;
 };
 
@@ -215,6 +231,10 @@ void parallel_chunks(
 }
 
 bool in_parallel_region() { return t_in_pool; }
+
+void* task_context() { return t_task_ctx; }
+
+void set_task_context(void* ctx) { t_task_ctx = ctx; }
 
 void parallel_for(std::size_t total,
                   const std::function<void(std::size_t)>& fn) {

@@ -44,4 +44,14 @@ void parallel_for(std::size_t total,
 // the two regimes apart.
 bool in_parallel_region();
 
+// Opaque per-thread context pointer, propagated from the thread that
+// launches a parallel_chunks job to the helper threads executing its
+// chunks (and restored to null on each helper afterwards). The caller
+// must keep the pointee alive for the job's duration — trivially true,
+// since run() blocks. Used by the observability layer (src/obs) to hand
+// pool workers the launching thread's metrics context without threading
+// a parameter through every kernel.
+void* task_context();
+void set_task_context(void* ctx);
+
 }  // namespace signguard::common

@@ -3,10 +3,12 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "aggregators/internal.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace signguard::core {
 
@@ -28,6 +30,13 @@ std::vector<float> SignGuard::aggregate(const common::GradientMatrix& grads,
                                         const agg::GarContext&) {
   agg::check_grads(grads);
   const std::size_t n = grads.rows();
+  obs::Span span("agg/signguard", std::int64_t(n));
+  // Steps 1–2 (and the intersection) are the filter stage; the clipped
+  // mean after filter_stage.reset() bills to the caller's aggregate
+  // stage. An optional rather than a block: the early return below must
+  // stay an early return.
+  std::optional<obs::StageScope> filter_stage;
+  filter_stage.emplace(obs::Stage::kFilter);
 
   // Step 1: norm-based thresholding (also computes the clipping bound M).
   last_norm_ = norm_filter(grads, cfg_.norm);
@@ -43,6 +52,7 @@ std::vector<float> SignGuard::aggregate(const common::GradientMatrix& grads,
     // No trustworthy gradient this round; emit a zero update.
     selected_.clear();
     last_cluster_ = SignClusterResult{};
+    obs::count(obs::Stage::kFilter, obs::Counter::kFilterRejects, n);
     prev_aggregate_.assign(grads.cols(), 0.0f);
     return prev_aggregate_;
   }
@@ -68,6 +78,11 @@ std::vector<float> SignGuard::aggregate(const common::GradientMatrix& grads,
   // filter rather than emitting nothing — an empty update would stall
   // training without any robustness benefit.
   if (selected_.empty()) selected_ = !s1.empty() ? s1 : all;
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterAdmits,
+             selected_.size());
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterRejects,
+             n - selected_.size());
+  filter_stage.reset();
 
   // The norm filter already paid for every row norm; reusing them here is
   // bitwise-identical to recomputing (same accumulation chain).
@@ -86,6 +101,9 @@ std::vector<float> SignGuard::aggregate_wire(const comm::WireRound& wire,
   const std::size_t n = wire.uplinks.size();
   const std::size_t d = wire.d;
   last_decoded_bytes_ = 0;
+  obs::Span span("agg/signguard-wire", std::int64_t(n));
+  std::optional<obs::StageScope> filter_stage;
+  filter_stage.emplace(obs::Stage::kFilter);
 
   // Step 1: norm-based thresholding on norms derived from wire bytes
   // (bitwise equal to vec::row_norms of the decoded matrix).
@@ -101,6 +119,7 @@ std::vector<float> SignGuard::aggregate_wire(const comm::WireRound& wire,
     // the Rng streams of the two backends aligned.)
     selected_.clear();
     last_cluster_ = SignClusterResult{};
+    obs::count(obs::Stage::kFilter, obs::Counter::kFilterRejects, n);
     prev_aggregate_.assign(d, 0.0f);
     return prev_aggregate_;
   }
@@ -127,6 +146,11 @@ std::vector<float> SignGuard::aggregate_wire(const comm::WireRound& wire,
   // materialized as f32, compacted into the reusable scratch matrix.
   selected_ = intersect_indices(s1, s2);
   if (selected_.empty()) selected_ = !s1.empty() ? s1 : all;
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterAdmits,
+             selected_.size());
+  obs::count(obs::Stage::kFilter, obs::Counter::kFilterRejects,
+             n - selected_.size());
+  filter_stage.reset();
 
   wire_survivors_.resize(selected_.size(), d);
   survivor_norms_.resize(selected_.size());
@@ -138,6 +162,10 @@ std::vector<float> SignGuard::aggregate_wire(const comm::WireRound& wire,
     survivor_norms_[k] = last_norm_.norms[selected_[k]];
   });
   last_decoded_bytes_ = std::uint64_t(selected_.size()) * d * 4;
+  obs::count(obs::Stage::kDecode, obs::Counter::kRowsDecoded,
+             selected_.size());
+  obs::count(obs::Stage::kDecode, obs::Counter::kDenseBytes,
+             last_decoded_bytes_);
 
   survivor_ids_.resize(selected_.size());
   std::iota(survivor_ids_.begin(), survivor_ids_.end(), std::size_t{0});

@@ -304,6 +304,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
   // Declared ahead of the try so the checkpoint extra-blob lambdas (which
   // outlive this scope inside the TrainerConfig) can capture it.
   std::uint64_t fold = common::kFnvOffsetBasis;
+  // Scenario-local counter registry (src/obs), likewise captured by the
+  // checkpoint lambdas: its per-round records ride in the extra blob so
+  // a resumed scenario re-emits a byte-identical "obs" JSONL block.
+  std::optional<obs::MetricsRegistry> reg;
+  if (opts.obs_counters || opts.obs_timing) reg.emplace(opts.obs_timing);
+  r.obs_counters = reg.has_value();
+  r.obs_timing = opts.obs_timing;
   try {
     // Inside the try: an unknown codec name or degenerate chunk/k is a
     // per-scenario error, not a sweep abort.
@@ -336,15 +343,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
       // The observer's fold state and captured traces ride in the
       // checkpoint's extra blob, so a resumed scenario replays its JSONL
       // byte-identically. &r / &fold outlive trainer.run below.
-      cfg.checkpoint.save_extra = [&r, &fold](common::ByteWriter& w) {
+      cfg.checkpoint.save_extra = [&r, &fold, &reg](common::ByteWriter& w) {
         w.u64(fold);
         w.u64(r.skipped_rounds);
         w.u64(r.dropped_total);
         w.u64(r.straggler_total);
         w.u64(r.rounds.size());
         for (const RoundTrace& t : r.rounds) write_trace(w, t);
+        // The registry serializes the still-open round as a snapshot
+        // identical to the record end_round will push (nothing counts
+        // between a round's save and its end_round), so a kill+resume
+        // reconstructs bitwise-identical counter records.
+        w.u8(reg ? 1 : 0);
+        if (reg) reg->serialize(w);
       };
-      cfg.checkpoint.load_extra = [&r, &fold](common::ByteReader& rd) {
+      cfg.checkpoint.load_extra = [&r, &fold, &reg](common::ByteReader& rd) {
         fold = rd.u64();
         r.skipped_rounds = rd.u64();
         r.dropped_total = rd.u64();
@@ -353,8 +366,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
         r.rounds.clear();
         for (std::uint64_t i = 0; i < n_traces; ++i)
           r.rounds.push_back(read_trace(rd));
+        if (rd.u8() != 0) {
+          // The checkpoint carries counter state; restore it, or drain
+          // it into a throwaway registry when this run has obs off (the
+          // blob must be consumed either way).
+          obs::MetricsRegistry scratch(false);
+          (reg ? *reg : scratch).restore(rd);
+        }
       };
     }
+    if (reg) cfg.metrics = &*reg;
     Trainer trainer(w.data, w.model_factory, cfg);
     auto attack = make_attack(spec.attack);
     // Adversary-axis wrappers, innermost first: amplitude adaptation
@@ -445,6 +466,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Workload& w,
       r.compression_ratio = static_cast<float>(
           double(res.uplink_dense_bytes) / double(res.uplink_bytes));
     r.trace_checksum = fold;
+    if (reg) r.obs_rounds = reg->rounds();
   } catch (const std::exception& e) {
     r.error = e.what();
   }
@@ -623,6 +645,47 @@ void write_jsonl_line(std::ostream& os, const ScenarioResult& r,
     for (std::size_t i = 0; i < r.rounds.size(); ++i) {
       if (i > 0) line += ',';
       line += json_hex(r.rounds[i].aggregate_checksum);
+    }
+    line += ']';
+  }
+  // Observability block, gated exactly like the codec/shards/fault
+  // blocks: absent with obs off, so existing goldens keep their bytes.
+  // "c" holds the round's nonzero work counters keyed "<stage>.<counter>"
+  // in stage-major canonical order (deterministic — the CI thread-diff
+  // target); "ms" the per-stage wall-clock, only under obs_timing.
+  if (r.obs_counters && !r.obs_rounds.empty()) {
+    line += ",\"obs\":[";
+    for (std::size_t i = 0; i < r.obs_rounds.size(); ++i) {
+      const obs::RoundCost& rc = r.obs_rounds[i];
+      if (i > 0) line += ',';
+      line += "{\"r\":" + std::to_string(rc.round) + ",\"c\":{";
+      bool first = true;
+      for (std::size_t st = 0; st < obs::kNumStages; ++st)
+        for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+          if (rc.counters[st][c] == 0) continue;
+          if (!first) line += ',';
+          first = false;
+          line += '"';
+          line += obs::to_string(obs::Stage(st));
+          line += '.';
+          line += obs::to_string(obs::Counter(c));
+          line += "\":" + std::to_string(rc.counters[st][c]);
+        }
+      line += '}';
+      if (r.obs_timing) {
+        line += ",\"ms\":{";
+        first = true;
+        for (std::size_t st = 0; st < obs::kNumStages; ++st) {
+          if (rc.stage_ms[st] == 0.0) continue;
+          if (!first) line += ',';
+          first = false;
+          line += '"';
+          line += obs::to_string(obs::Stage(st));
+          line += "\":" + json_num(rc.stage_ms[st]);
+        }
+        line += '}';
+      }
+      line += '}';
     }
     line += ']';
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fl/experiment.h"
+#include "obs/metrics.h"
 
 namespace signguard::fl {
 
@@ -237,6 +238,16 @@ struct ScenarioResult {
   bool halted = false;
   std::vector<RoundTrace> rounds;     // empty unless capture_rounds
 
+  // Observability (src/obs): per-round work-counter / stage-timing
+  // records, captured only when the matching SweepOptions flag is on.
+  // The flags gate the JSONL "obs" block exactly like codec/shards/
+  // fault fields gate theirs, so existing goldens keep their bytes; the
+  // counter plane is deterministic (thread- and order-invariant), the
+  // stage_ms plane is wall-clock and never folded or golden-compared.
+  bool obs_counters = false;
+  bool obs_timing = false;
+  std::vector<obs::RoundCost> obs_rounds;
+
   // Non-deterministic timing; excluded from JSONL unless include_timing.
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;
@@ -266,6 +277,13 @@ struct SweepOptions {
   std::size_t checkpoint_every = 1;
   bool resume = false;
   std::size_t halt_after_round = 0;
+  // Observability (src/obs): obs_counters gives every scenario its own
+  // MetricsRegistry (deterministic per-round work counters, emitted as
+  // the JSONL "obs" block and carried through sweep checkpoints);
+  // obs_timing additionally records per-stage wall-clock into the same
+  // records (nondeterministic — never golden-compare a timed line).
+  bool obs_counters = false;
+  bool obs_timing = false;
 };
 
 // Runs every scenario concurrently on the common::parallel pool and

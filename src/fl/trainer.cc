@@ -19,6 +19,7 @@
 #include "core/signguard.h"
 #include "fl/client.h"
 #include "fl/server.h"
+#include "obs/trace.h"
 
 namespace signguard::fl {
 
@@ -57,6 +58,11 @@ Trainer::Trainer(const data::TrainTest& data, ModelFactory model_factory,
 TrainingResult Trainer::run(attacks::Attack& attack,
                             std::unique_ptr<agg::Aggregator> gar,
                             const RoundObserver& observer) {
+  // Attach the (possibly null) counter registry to this thread for the
+  // whole run; pool helpers inherit it through common::task_context, so
+  // every obs::count below — trainer-level or deep inside a kernel —
+  // lands in the same per-round record regardless of SIGNGUARD_THREADS.
+  obs::ScopedMetrics obs_scope(cfg_.metrics);
   Rng rng(cfg_.seed);
   Rng attack_rng = rng.split();
   Rng gar_rng = rng.split();
@@ -176,6 +182,18 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   std::size_t current_round = round_sentinel;
   const auto transport_rows = [&](std::size_t begin_row, std::size_t end_row,
                                   bool decode_rows, auto client_of) {
+    // The fan-out interleaves encode and decode per row, so wall-clock is
+    // billed to the uplink stage as a whole; the work counters use
+    // explicit stages so the per-stage volumes stay separable.
+    obs::StageScope stage(obs::Stage::kUplink, "transport",
+                          std::int64_t(end_row - begin_row));
+    const std::uint64_t n_rows = end_row - begin_row;
+    obs::count(obs::Stage::kEncode, obs::Counter::kRowsEncoded, n_rows);
+    if (decode_rows) {
+      obs::count(obs::Stage::kDecode, obs::Counter::kRowsDecoded, n_rows);
+      obs::count(obs::Stage::kDecode, obs::Counter::kDenseBytes,
+                 n_rows * dim * 4);
+    }
     if (enc_scratch.size() < common::thread_count())
       enc_scratch.resize(common::thread_count());
     common::parallel_chunks(
@@ -255,6 +273,8 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   }();
 
   const auto save_checkpoint = [&](std::size_t next_round) {
+    obs::StageScope stage(obs::Stage::kCheckpoint, "checkpoint/save",
+                          std::int64_t(next_round));
     common::ByteWriter w;
     w.u64(config_hash);
     w.u64(next_round);
@@ -299,6 +319,10 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       attack.serialize_state(b);
       w.str(b.bytes());
     }
+    // Checkpoint bytes = the core payload, measured before the extra blob
+    // is appended: the registry itself may serialize into that blob, and
+    // counting its own output would make the count depend on it.
+    obs::count(obs::Counter::kCheckpointBytes, w.bytes().size());
     {
       common::ByteWriter b;
       if (cfg_.checkpoint.save_extra) cfg_.checkpoint.save_extra(b);
@@ -374,6 +398,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
 
   // ---- One synchronous round ----------------------------------------------
   const auto run_round = [&](std::size_t round) {
+    obs::Span round_span("round", std::int64_t(round));
     current_round = round;
     attack.begin_round(round, attack_rng);
     const bool flip = attack.flips_labels();
@@ -439,6 +464,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     double slowest_ms = 0.0;
     bool uplink_missing = false;
     if (chaos_on) {
+      obs::StageScope stage(obs::Stage::kUplink, "chaos/sift");
       auto chaos_sift = [&](std::vector<std::size_t>& sel, bool benign) {
         active.clear();
         for (const std::size_t i : sel) {
@@ -449,10 +475,14 @@ TrainingResult Trainer::run(attacks::Attack& attack,
           const UplinkSim sim = chaos->simulate_uplink(i, round);
           ++transmitters;
           attempts_total += sim.attempts;
-          slowest_ms = std::max(slowest_ms, sim.elapsed_ms);
           switch (sim.delivery) {
             case UplinkSim::Delivery::kOnTime:
             case UplinkSim::Delivery::kCorrupt:
+              // Only delivered uplinks extend the round: a synchronous
+              // server closes on what it received, so a lost chain's (or,
+              // with no deadline, a late chain's) elapsed time is not on
+              // the critical path.
+              slowest_ms = std::max(slowest_ms, sim.elapsed_ms);
               active.push_back(i);
               break;
             case UplinkSim::Delivery::kLate:
@@ -472,6 +502,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       };
       chaos_sift(byz_sel, /*benign=*/false);
       chaos_sift(benign_sel, /*benign=*/true);
+      obs::count(obs::Counter::kRetryAttempts, attempts_total);
     }
     // Simulated round wall-clock: the server closes the round at the
     // deadline when anyone is still missing, else at the slowest arrival.
@@ -521,27 +552,34 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     round_grads.resize(n_round, dim);
     byz_honest.resize(m_round, dim);
     late_grads.resize(benign_late.size(), dim);
-    common::parallel_chunks(
-        n_work, [&](std::size_t begin, std::size_t end, std::size_t worker) {
-          nn::Model& wm = worker_models[worker];
-          for (std::size_t t = begin; t < end; ++t) {
-            if (t < m_round) {
-              clients[byz_sel[t]].compute_gradient_into(
-                  byz_honest.row(t), wm, cfg_.batch_size, cfg_.weight_decay,
-                  flip, cfg_.client_momentum);
-            } else if (t < n_round) {
-              const std::size_t b = t - m_round;
-              clients[benign_sel[b]].compute_gradient_into(
-                  round_grads.row(t), wm, cfg_.batch_size, cfg_.weight_decay,
-                  /*flip_labels=*/false, cfg_.client_momentum);
-            } else {
-              const std::size_t s = t - n_round;
-              clients[benign_late[s]].compute_gradient_into(
-                  late_grads.row(s), wm, cfg_.batch_size, cfg_.weight_decay,
-                  /*flip_labels=*/false, cfg_.client_momentum);
+    {
+      obs::StageScope stage(obs::Stage::kClientCompute, nullptr,
+                            std::int64_t(n_work));
+      obs::count(obs::Counter::kDenseBytes, std::uint64_t(n_work) * dim * 4);
+      common::parallel_chunks(
+          n_work,
+          [&](std::size_t begin, std::size_t end, std::size_t worker) {
+            nn::Model& wm = worker_models[worker];
+            for (std::size_t t = begin; t < end; ++t) {
+              if (t < m_round) {
+                clients[byz_sel[t]].compute_gradient_into(
+                    byz_honest.row(t), wm, cfg_.batch_size, cfg_.weight_decay,
+                    flip, cfg_.client_momentum);
+              } else if (t < n_round) {
+                const std::size_t b = t - m_round;
+                clients[benign_sel[b]].compute_gradient_into(
+                    round_grads.row(t), wm, cfg_.batch_size,
+                    cfg_.weight_decay,
+                    /*flip_labels=*/false, cfg_.client_momentum);
+              } else {
+                const std::size_t s = t - n_round;
+                clients[benign_late[s]].compute_gradient_into(
+                    late_grads.row(s), wm, cfg_.batch_size, cfg_.weight_decay,
+                    /*flip_labels=*/false, cfg_.client_momentum);
+              }
             }
-          }
-        });
+          });
+    }
 
     if (benign_sel.empty()) {
       // No honest gradient reached the server: skip aggregation. Local
@@ -552,6 +590,10 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       if (chaos_transport) {
         result.uplink_bytes += chaos_sent_bytes;
         result.uplink_dense_bytes += chaos_dense_bytes;
+        obs::count(obs::Stage::kUplink, obs::Counter::kWireBytes,
+                   chaos_sent_bytes);
+        obs::count(obs::Stage::kUplink, obs::Counter::kDenseBytes,
+                   chaos_dense_bytes);
       }
       {
         // The feedback channel fires on every round, skips included —
@@ -607,6 +649,11 @@ TrainingResult Trainer::run(attacks::Attack& attack,
         result.uplink_bytes += sent_bytes;
         result.uplink_dense_bytes += dense_bytes;
         result.decode_rejects += benign_rejects;
+        obs::count(obs::Stage::kUplink, obs::Counter::kWireBytes, sent_bytes);
+        obs::count(obs::Stage::kUplink, obs::Counter::kDenseBytes,
+                   dense_bytes);
+        obs::count(obs::Stage::kDecode, obs::Counter::kDecodeRejects,
+                   benign_rejects);
         ++result.skipped_rounds;
         {
           attacks::RoundFeedback fb;
@@ -653,23 +700,27 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     actx.n_byzantine = m_round;
     actx.round = round;
     actx.rng = &attack_rng;
-    const std::vector<std::vector<float>> malicious = attack.craft(actx);
-    // Loud validation in every build type: a misbehaving user-defined
-    // attack must not turn into an out-of-bounds copy into the matrix.
-    if (malicious.size() != m_round)
-      throw std::invalid_argument(
-          "attack '" + attack.name() + "' crafted " +
-          std::to_string(malicious.size()) + " gradients, expected " +
-          std::to_string(m_round));
-    for (std::size_t i = 0; i < m_round; ++i) {
-      if (malicious[i].size() != dim)
+    {
+      obs::StageScope stage(obs::Stage::kOther, "attack/craft",
+                            std::int64_t(m_round));
+      const std::vector<std::vector<float>> malicious = attack.craft(actx);
+      // Loud validation in every build type: a misbehaving user-defined
+      // attack must not turn into an out-of-bounds copy into the matrix.
+      if (malicious.size() != m_round)
         throw std::invalid_argument(
-            "attack '" + attack.name() + "' crafted gradient " +
-            std::to_string(i) + " with dimension " +
-            std::to_string(malicious[i].size()) + ", expected " +
-            std::to_string(dim));
-      const auto row = round_grads.row(i);
-      std::copy(malicious[i].begin(), malicious[i].end(), row.begin());
+            "attack '" + attack.name() + "' crafted " +
+            std::to_string(malicious.size()) + " gradients, expected " +
+            std::to_string(m_round));
+      for (std::size_t i = 0; i < m_round; ++i) {
+        if (malicious[i].size() != dim)
+          throw std::invalid_argument(
+              "attack '" + attack.name() + "' crafted gradient " +
+              std::to_string(i) + " with dimension " +
+              std::to_string(malicious[i].size()) + ", expected " +
+              std::to_string(dim));
+        const auto row = round_grads.row(i);
+        std::copy(malicious[i].begin(), malicious[i].end(), row.begin());
+      }
     }
 
     // Byzantine uplinks take the same wire as everyone else's: the
@@ -720,6 +771,10 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     std::uint64_t decoded_bytes = 0;
     const std::vector<float>* agg_ptr = nullptr;
     RoundOutcome outcome = RoundOutcome::kProceed;
+    // Optional (not a block) so the branches below stay un-reindented;
+    // reset() closes the aggregation stage before the eval below.
+    std::optional<obs::StageScope> agg_stage;
+    agg_stage.emplace(obs::Stage::kAggregate, nullptr, std::int64_t(n_eff));
     if (quorum_on) {
       // Quorum-policed aggregation (fl/chaos.h): same GAR + optimizer
       // sequence as server.step(), but the aggregate is only applied
@@ -799,6 +854,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       agg_ptr = &server.step(round_grads, gctx);
       if (transport_on) decoded_bytes = std::uint64_t(n_eff) * dim * 4;
     }
+    agg_stage.reset();
 
     // Selection accounting (only meaningful for selecting rules, and only
     // on rounds where the rule's aggregate was actually applied).
@@ -847,9 +903,16 @@ TrainingResult Trainer::run(attacks::Attack& attack,
       result.uplink_dense_bytes += obs.uplink_dense_bytes;
       result.decode_rejects += round_rejects;
       result.uplink_decoded_bytes += decoded_bytes;
+      obs::count(obs::Stage::kUplink, obs::Counter::kWireBytes,
+                 obs.uplink_bytes);
+      obs::count(obs::Stage::kUplink, obs::Counter::kDenseBytes,
+                 obs.uplink_dense_bytes);
+      obs::count(obs::Stage::kDecode, obs::Counter::kDecodeRejects,
+                 round_rejects);
     }
     if (agg_ptr != nullptr &&
         ((round + 1) % cfg_.eval_every == 0 || round + 1 == cfg_.rounds)) {
+      obs::StageScope stage(obs::Stage::kEval);
       model.set_parameters(server.parameters());
       const double acc = evaluate_accuracy(model, data_.test, 256,
                                            cfg_.eval_max_samples);
@@ -883,6 +946,12 @@ TrainingResult Trainer::run(attacks::Attack& attack,
   };
 
   for (std::size_t round = start_round; round < cfg_.rounds; ++round) {
+    // Counter round brackets the checkpoint save, so checkpoint bytes
+    // land in the round that wrote them, and a serialize() inside
+    // save_extra snapshots the open round exactly as end_round will
+    // record it (nothing counts between the save and end_round) —
+    // kill+resume therefore restores bitwise-identical counter state.
+    if (cfg_.metrics != nullptr) cfg_.metrics->begin_round(round);
     run_round(round);
     // Checkpoint AFTER the round completes (skipped rounds included), so
     // a resume replays from a round boundary; the final round's state is
@@ -892,6 +961,7 @@ TrainingResult Trainer::run(attacks::Attack& attack,
     if (ckpt_on && (round + 1) % cfg_.checkpoint.every == 0 &&
         round + 1 < cfg_.rounds)
       save_checkpoint(round + 1);
+    if (cfg_.metrics != nullptr) cfg_.metrics->end_round();
     if (cfg_.checkpoint.halt_after_round > 0 &&
         round + 1 >= cfg_.checkpoint.halt_after_round &&
         round + 1 < cfg_.rounds) {

@@ -22,6 +22,7 @@
 #include "fl/checkpoint.h"
 #include "fl/metrics.h"
 #include "nn/model.h"
+#include "obs/metrics.h"
 
 namespace signguard::fl {
 
@@ -102,6 +103,13 @@ struct TrainerConfig {
   // transport even under the kNone codec.
   std::function<void(std::size_t client, std::vector<std::uint8_t>& buf)>
       uplink_tamper;
+  // Deterministic work-counter registry (src/obs). Borrowed, may be null
+  // (all counting then reduces to no-ops). The trainer opens one counter
+  // round per training round — begin_round before the round's work,
+  // end_round after the round's checkpoint save, so checkpoint bytes land
+  // in the round that wrote them and a mid-round serialize() snapshot
+  // matches the eventual record (kill+resume stays bitwise).
+  obs::MetricsRegistry* metrics = nullptr;
   std::uint64_t seed = 7;
 };
 
@@ -150,7 +158,10 @@ struct RoundObservation {
   std::size_t lost_uplinks = 0;     // uplinks dropped on every attempt
   std::uint64_t uplink_attempts = 0;  // transmissions incl. retries
   // Simulated wall-clock of the round's uplink phase: the deadline when
-  // any transmitter ran past it, else the slowest transmitter's time.
+  // any transmitter ran past it, else the slowest DELIVERED uplink's
+  // attempt-chain time. A lost uplink (or, with no deadline, one that
+  // would have been late) never extends the round — a synchronous server
+  // closes the round on the updates it actually received.
   double sim_round_ms = 0.0;
   // Degradation outcome (kProceed on every normal round; the fallback /
   // quorum-skip values only occur with an active QuorumPolicy).

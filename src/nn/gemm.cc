@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace signguard::nn {
 namespace {
@@ -184,6 +185,10 @@ void gemm_dispatch(std::size_t m, std::size_t n, std::size_t k,
                    std::size_t ldb, Trans tb, float* c, std::size_t ldc,
                    bool accumulate) {
   if (m == 0 || n == 0) return;
+  // Billed to whatever stage the caller's obs context is in (client
+  // compute, eval, ...); a no-op without an attached registry.
+  obs::count(obs::Counter::kGemmFlops,
+             std::uint64_t(2) * m * n * k);
   if (k == 0) {
     // Degenerate inner dimension: the product is a zero matrix.
     if (!accumulate)

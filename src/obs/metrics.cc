@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+
+#include "common/parallel.h"
+
+namespace signguard::obs {
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kClientCompute: return "client_compute";
+    case Stage::kEncode: return "encode";
+    case Stage::kUplink: return "uplink";
+    case Stage::kDecode: return "decode";
+    case Stage::kFilter: return "filter";
+    case Stage::kAggregate: return "aggregate";
+    case Stage::kMerge: return "merge";
+    case Stage::kEval: return "eval";
+    case Stage::kCheckpoint: return "checkpoint";
+    case Stage::kOther: return "other";
+  }
+  return "?";
+}
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kRowsEncoded: return "rows_encoded";
+    case Counter::kRowsDecoded: return "rows_decoded";
+    case Counter::kWireBytes: return "wire_bytes";
+    case Counter::kDenseBytes: return "dense_bytes";
+    case Counter::kDecodeRejects: return "decode_rejects";
+    case Counter::kFilterAdmits: return "filter_admits";
+    case Counter::kFilterRejects: return "filter_rejects";
+    case Counter::kGemmFlops: return "gemm_flops";
+    case Counter::kCheckpointBytes: return "checkpoint_bytes";
+    case Counter::kRetryAttempts: return "retry_attempts";
+    case Counter::kShardSurvivors: return "shard_survivors";
+  }
+  return "?";
+}
+
+namespace {
+
+// Stable per-thread shard slot: threads map onto the fixed shard set in
+// arrival order. Which thread lands in which shard never affects the
+// merged sums (u64 addition commutes), only false-sharing behavior.
+std::size_t shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(bool timing)
+    : timing_(timing), shards_(kShards) {}
+
+void MetricsRegistry::begin_round(std::uint64_t round) {
+  if (in_round_) end_round();
+  cur_ = RoundCost{};
+  cur_.round = round;
+  in_round_ = true;
+}
+
+void MetricsRegistry::end_round() {
+  if (!in_round_) return;
+  // Canonical merge order: shard 0..kShards-1, stage-major, counter-minor
+  // — and the sums are order-free anyway, so the record is bitwise
+  // identical for any thread count and submission order.
+  for (Shard& sh : shards_)
+    for (std::size_t s = 0; s < kNumStages; ++s)
+      for (std::size_t c = 0; c < kNumCounters; ++c)
+        cur_.counters[s][c] += sh.c[s][c].exchange(0, std::memory_order_relaxed);
+  rounds_.push_back(cur_);
+  in_round_ = false;
+}
+
+void MetricsRegistry::add(Stage s, Counter c, std::uint64_t v) {
+  Shard& sh = shards_[shard_slot() % kShards];
+  sh.c[std::size_t(s)][std::size_t(c)].fetch_add(v, std::memory_order_relaxed);
+  sh.ops.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::add_ms(Stage s, double ms) {
+  if (timing_ && in_round_) cur_.stage_ms[std::size_t(s)] += ms;
+}
+
+RoundCost MetricsRegistry::totals() const {
+  RoundCost t;
+  for (const RoundCost& r : rounds_) {
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      for (std::size_t c = 0; c < kNumCounters; ++c)
+        t.counters[s][c] += r.counters[s][c];
+      t.stage_ms[s] += r.stage_ms[s];
+    }
+  }
+  return t;
+}
+
+std::uint64_t MetricsRegistry::ops() const {
+  std::uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.ops.load(std::memory_order_relaxed);
+  return n;
+}
+
+RoundCost MetricsRegistry::snapshot_current() const {
+  RoundCost snap = cur_;
+  for (const Shard& sh : shards_)
+    for (std::size_t s = 0; s < kNumStages; ++s)
+      for (std::size_t c = 0; c < kNumCounters; ++c)
+        snap.counters[s][c] += sh.c[s][c].load(std::memory_order_relaxed);
+  return snap;
+}
+
+namespace {
+
+void write_record(common::ByteWriter& w, const RoundCost& r) {
+  w.u64(r.round);
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    for (std::size_t c = 0; c < kNumCounters; ++c)
+      w.u64(r.counters[s][c]);
+  for (std::size_t s = 0; s < kNumStages; ++s) w.f64(r.stage_ms[s]);
+}
+
+RoundCost read_record(common::ByteReader& r) {
+  RoundCost rec;
+  rec.round = r.u64();
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    for (std::size_t c = 0; c < kNumCounters; ++c)
+      rec.counters[s][c] = r.u64();
+  for (std::size_t s = 0; s < kNumStages; ++s) rec.stage_ms[s] = r.f64();
+  return rec;
+}
+
+}  // namespace
+
+void MetricsRegistry::serialize(common::ByteWriter& w) const {
+  // The open round (a checkpoint is written after the round's work but
+  // before the trainer's end_round) is snapshotted as if closed.
+  w.u64(rounds_.size() + (in_round_ ? 1 : 0));
+  for (const RoundCost& r : rounds_) write_record(w, r);
+  if (in_round_) write_record(w, snapshot_current());
+}
+
+void MetricsRegistry::restore(common::ByteReader& r) {
+  rounds_.clear();
+  const std::uint64_t n = r.u64();
+  rounds_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) rounds_.push_back(read_record(r));
+  cur_ = RoundCost{};
+  in_round_ = false;
+  for (Shard& sh : shards_)
+    for (std::size_t s = 0; s < kNumStages; ++s)
+      for (std::size_t c = 0; c < kNumCounters; ++c)
+        sh.c[s][c].store(0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const RoundCost t = totals();
+  os << "# TYPE signguard_work_total counter\n";
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    for (std::size_t c = 0; c < kNumCounters; ++c)
+      if (t.counters[s][c] != 0)
+        os << "signguard_work_total{stage=\"" << to_string(Stage(s))
+           << "\",counter=\"" << to_string(Counter(c)) << "\"} "
+           << t.counters[s][c] << "\n";
+  if (timing_) {
+    os << "# TYPE signguard_stage_seconds_total counter\n";
+    for (std::size_t s = 0; s < kNumStages; ++s)
+      if (t.stage_ms[s] != 0.0)
+        os << "signguard_stage_seconds_total{stage=\"" << to_string(Stage(s))
+           << "\"} " << t.stage_ms[s] / 1000.0 << "\n";
+  }
+  os << "signguard_rounds_total " << rounds_.size() << "\n";
+}
+
+namespace detail {
+
+thread_local ObsContext t_ctx;
+
+const ObsContext& inherited_context() {
+  static const ObsContext empty;
+  const void* p = common::task_context();
+  return p != nullptr ? *static_cast<const ObsContext*>(p) : empty;
+}
+
+}  // namespace detail
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry* reg)
+    : saved_(detail::t_ctx), saved_task_(common::task_context()) {
+  detail::t_ctx.reg = reg;
+  detail::t_ctx.stage = Stage::kOther;
+  common::set_task_context(&detail::t_ctx);
+}
+
+ScopedMetrics::~ScopedMetrics() {
+  detail::t_ctx = saved_;
+  common::set_task_context(saved_task_);
+}
+
+}  // namespace signguard::obs

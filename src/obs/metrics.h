@@ -1,0 +1,179 @@
+#pragma once
+// Deterministic work counters — plane 1 of the observability subsystem.
+//
+// A MetricsRegistry accumulates named u64 counters per (round, stage).
+// Counted quantities are deterministic functions of the configuration
+// (rows decoded, dense-equivalent bytes touched, filter admissions,
+// GEMM flops, checkpoint bytes, retry attempts, shard survivors), and
+// u64 addition is commutative and associative, so the per-round records
+// are bitwise identical for any SIGNGUARD_THREADS value and any
+// submission order — the counters are golden-testable, unlike the
+// timing plane (obs/trace.h), which is kept strictly separate.
+//
+// Concurrency model: add() lands in one of a fixed set of cache-padded
+// atomic shards (indexed by a per-thread slot); end_round() merges the
+// shards into the round's record in canonical shard order on the
+// coordinator thread. Timing (stage_ms) is written only by the
+// coordinator via StageScope / add_ms and only when the registry was
+// built with timing enabled.
+//
+// Attachment model: library code never takes a registry parameter — it
+// calls the free obs::count() helpers, which resolve a thread-local
+// ObsContext {registry, current stage}. The context is installed for a
+// training run by ScopedMetrics, propagated to pool helper threads via
+// common::task_context (common/parallel.h), and is null everywhere
+// else, making every count() a cheap no-op when observability is off.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/serial.h"
+
+namespace signguard::obs {
+
+// Pipeline stage a cost is attributed to. The taxonomy mirrors the
+// trainer's round structure (docs/ARCHITECTURE.md "Observability").
+enum class Stage : std::uint8_t {
+  kClientCompute = 0,  // local training fan-out
+  kEncode,             // codec encode of uplink rows
+  kUplink,             // transmission: chaos sift, retries, sent bytes
+  kDecode,             // wire validate/decode back into the round matrix
+  kFilter,             // robust-rule admission decisions
+  kAggregate,          // GAR aggregation (incl. the wire-stats pass)
+  kMerge,              // sharded-tree root merge
+  kEval,               // periodic test-set evaluation
+  kCheckpoint,         // crash-consistent state save
+  kOther,              // unattributed (attack craft, setup)
+};
+inline constexpr std::size_t kNumStages = 10;
+const char* to_string(Stage s);
+
+enum class Counter : std::uint8_t {
+  kRowsEncoded = 0,    // gradient rows pushed through the codec
+  kRowsDecoded,        // rows materialized back to f32
+  kWireBytes,          // encoded bytes actually transmitted (retries incl.)
+  kDenseBytes,         // dense-equivalent f32 bytes touched
+  kDecodeRejects,      // uplinks the wire layer refused
+  kFilterAdmits,       // rows admitted by a selecting rule
+  kFilterRejects,      // rows rejected by a selecting rule
+  kGemmFlops,          // 2*m*n*k per GEMM call (nn/gemm.cc)
+  kCheckpointBytes,    // serialized trainer payload bytes
+  kRetryAttempts,      // uplink transmissions including retries
+  kShardSurvivors,     // per-shard post-filter survivor total
+};
+inline constexpr std::size_t kNumCounters = 11;
+const char* to_string(Counter c);
+
+// One round's cost record. counters[][] is the deterministic plane;
+// stage_ms is the coordinator-measured timing plane (all zero unless the
+// registry was built with timing enabled — and then nondeterministic).
+struct RoundCost {
+  std::uint64_t round = 0;
+  std::uint64_t counters[kNumStages][kNumCounters] = {};
+  double stage_ms[kNumStages] = {};
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool timing = false);
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool timing_enabled() const { return timing_; }
+
+  // Round lifecycle, coordinator thread only. begin_round() implicitly
+  // closes a still-open round; end_round() drains the shards (canonical
+  // order) into the record and appends it to rounds().
+  void begin_round(std::uint64_t round);
+  void end_round();
+
+  // Thread-safe from any thread between begin_round and end_round.
+  void add(Stage s, Counter c, std::uint64_t v);
+  // Coordinator only; no-op unless timing_enabled().
+  void add_ms(Stage s, double ms);
+
+  const std::vector<RoundCost>& rounds() const { return rounds_; }
+  RoundCost totals() const;  // sum over rounds()
+  // Number of add() invocations so far (for overhead estimation).
+  std::uint64_t ops() const;
+
+  // Checkpoint round-trip (rides the sweep checkpoint's extra blob so a
+  // resumed scenario reports bitwise-identical counters). serialize() is
+  // callable mid-round: it snapshots the open round — shards summed
+  // non-destructively — as a closed record, which is exactly what
+  // end_round() will produce, since a save happens at a round boundary
+  // with no adds in between.
+  void serialize(common::ByteWriter& w) const;
+  void restore(common::ByteReader& r);
+
+  // Prometheus text exposition of the counter totals.
+  void write_prometheus(std::ostream& os) const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> c[kNumStages][kNumCounters];
+    std::atomic<std::uint64_t> ops;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  RoundCost snapshot_current() const;
+
+  bool timing_;
+  bool in_round_ = false;
+  RoundCost cur_;
+  std::vector<Shard> shards_;
+  std::vector<RoundCost> rounds_;
+};
+
+// The thread-local attachment point resolved by obs::count().
+struct ObsContext {
+  MetricsRegistry* reg = nullptr;
+  Stage stage = Stage::kOther;
+};
+
+namespace detail {
+extern thread_local ObsContext t_ctx;
+// Helper-thread fallback: the context the launching thread published via
+// common::task_context, or a null context.
+const ObsContext& inherited_context();
+}  // namespace detail
+
+// Effective context for the calling thread: its own installed context,
+// else the one inherited from the thread that launched the current
+// parallel_chunks job, else null.
+inline const ObsContext& context() {
+  return detail::t_ctx.reg != nullptr ? detail::t_ctx
+                                      : detail::inherited_context();
+}
+
+// Attribute `v` to counter `c` under the context's current stage (or an
+// explicit stage). No-ops (one TLS load + branch) with no registry
+// attached.
+inline void count(Counter c, std::uint64_t v) {
+  const ObsContext& ctx = context();
+  if (ctx.reg != nullptr) ctx.reg->add(ctx.stage, c, v);
+}
+inline void count(Stage s, Counter c, std::uint64_t v) {
+  const ObsContext& ctx = context();
+  if (ctx.reg != nullptr) ctx.reg->add(s, c, v);
+}
+
+// Installs `reg` as the calling thread's context for its lifetime and
+// publishes it through common::task_context so pool helpers inherit it.
+// Restores both on destruction (the trainer holds one for run()).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* reg);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  ObsContext saved_;
+  void* saved_task_;
+};
+
+}  // namespace signguard::obs

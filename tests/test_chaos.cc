@@ -541,5 +541,75 @@ TEST(Checkpoint, SweepResumeEmitsByteIdenticalJsonl) {
   std::remove(ckpt.c_str());
 }
 
+// ---- Simulated-time accounting --------------------------------------------
+// The round clock closes on the slowest DELIVERED uplink (or the deadline
+// when one is set and someone is missing): a lost attempt chain is not on
+// a synchronous server's critical path, however long it ran.
+
+TEST(SimTime, RunTotalIsSumOfRoundTimes) {
+  const auto tt = tiny_data();
+  TrainerConfig cfg = tiny_config();
+  cfg.chaos.profile = fault_profile_from_name("flaky");  // lossy, deadline 0
+  Trainer trainer(tt, tiny_model(), cfg);
+  auto attack = make_attack("NoAttack");
+  double sum = 0.0;
+  std::size_t rounds_seen = 0;
+  const auto observer = [&](const RoundObservation& obs) {
+    sum += obs.sim_round_ms;
+    ++rounds_seen;
+  };
+  const TrainingResult res =
+      trainer.run(*attack, make_aggregator("Mean", 1), observer);
+  EXPECT_EQ(rounds_seen, cfg.rounds);
+  EXPECT_GT(res.sim_time_ms, 0.0);
+  // Exact, not approximate: the trainer accumulates the same doubles in
+  // the same order the observer sees them.
+  EXPECT_EQ(res.sim_time_ms, sum);
+}
+
+TEST(SimTime, RoundTimeIsSlowestDeliveredUplink) {
+  const auto tt = tiny_data();
+  TrainerConfig cfg = tiny_config();
+  // The stock profiles practically never lose a chain (p_drop^attempts),
+  // so crank the drop rate until losses are routine — the old accounting
+  // (max over ALL chains) then visibly disagrees with delivered-only.
+  cfg.chaos.profile = fault_profile_from_name("flaky");
+  cfg.chaos.profile.p_drop = 0.5;
+  cfg.chaos.profile.max_attempts = 2;
+  // Full participation, no churn, no legacy dropout/straggler coins and
+  // no deadline: every client transmits every round, so the expected
+  // round time is reconstructible from the engine's pure per-(client,
+  // round) streams alone.
+  Trainer trainer(tt, tiny_model(), cfg);
+  auto attack = make_attack("NoAttack");
+  std::vector<double> round_ms;
+  const auto observer = [&](const RoundObservation& obs) {
+    round_ms.push_back(obs.sim_round_ms);
+  };
+  (void)trainer.run(*attack, make_aggregator("Mean", 1), observer);
+  ASSERT_EQ(round_ms.size(), cfg.rounds);
+
+  ChaosEngine engine(
+      cfg.n_clients, cfg.chaos,
+      common::stream_seed(cfg.seed, common::fnv1a64("signguard.chaos")));
+  bool lost_chain_was_slowest = false;
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    double delivered_max = 0.0, any_max = 0.0;
+    for (std::size_t i = 0; i < cfg.n_clients; ++i) {
+      const UplinkSim sim = engine.simulate_uplink(i, r);
+      any_max = std::max(any_max, sim.elapsed_ms);
+      if (sim.delivery == UplinkSim::Delivery::kOnTime ||
+          sim.delivery == UplinkSim::Delivery::kCorrupt)
+        delivered_max = std::max(delivered_max, sim.elapsed_ms);
+    }
+    EXPECT_EQ(round_ms[r], delivered_max) << "round " << r;
+    lost_chain_was_slowest |= any_max > delivered_max;
+  }
+  // The distinction must actually have bitten: with the flaky profile's
+  // loss rate over 20 clients x 12 rounds, some round's slowest chain is
+  // a lost one (which the old accounting wrongly put on the clock).
+  EXPECT_TRUE(lost_chain_was_slowest);
+}
+
 }  // namespace
 }  // namespace signguard::fl
